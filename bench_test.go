@@ -1,0 +1,142 @@
+// Package aspectpar_test holds the top-level benchmark harness: one
+// testing.B benchmark per table/figure of the paper plus the ablations.
+//
+// Benchmarks run the experiments at a reduced workload (max prime 1,000,000
+// instead of 10,000,000) so `go test -bench=.` stays fast; cmd/paperbench
+// regenerates the full-scale numbers. Each benchmark reports two metrics:
+// ns/op is host time (how long the simulation takes to run), and
+// virtual_ms/op is the simulated execution time on the 7-node testbed —
+// the quantity the paper's figures plot.
+package aspectpar_test
+
+import (
+	"testing"
+	"time"
+
+	"aspectpar/internal/apps/heat"
+	"aspectpar/internal/apps/imagepipe"
+	"aspectpar/internal/apps/mandel"
+	"aspectpar/internal/exec"
+	"aspectpar/internal/sieve"
+)
+
+func benchParams(filters int) sieve.Params {
+	p := sieve.PaperParams(filters)
+	p.Max = 1_000_000
+	p.Packs = 20
+	return p
+}
+
+func runVariant(b *testing.B, v sieve.Variant, p sieve.Params) {
+	b.Helper()
+	var elapsed time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := sieve.Run(v, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		elapsed = res.Elapsed
+	}
+	b.ReportMetric(float64(elapsed)/float64(time.Millisecond), "virtual_ms/op")
+}
+
+// --- Table 1: one benchmark per tested module combination -------------------
+
+func BenchmarkTable1_FarmThreads(b *testing.B) { runVariant(b, sieve.FarmThreads, benchParams(7)) }
+func BenchmarkTable1_PipeRMI(b *testing.B)     { runVariant(b, sieve.PipeRMI, benchParams(7)) }
+func BenchmarkTable1_FarmRMI(b *testing.B)     { runVariant(b, sieve.FarmRMI, benchParams(7)) }
+func BenchmarkTable1_FarmDRMI(b *testing.B)    { runVariant(b, sieve.FarmDRMI, benchParams(7)) }
+func BenchmarkTable1_FarmMPP(b *testing.B)     { runVariant(b, sieve.FarmMPP, benchParams(7)) }
+
+// --- Figure 16: woven versus hand-coded pipeline RMI ------------------------
+
+func BenchmarkFig16_WovenPipeRMI(b *testing.B) { runVariant(b, sieve.PipeRMI, benchParams(7)) }
+func BenchmarkFig16_HandCodedPipeRMI(b *testing.B) {
+	runVariant(b, sieve.HandPipeRMI, benchParams(7))
+}
+
+// --- Figure 17: the filter-count sweep (endpoints per variant) --------------
+
+func BenchmarkFig17_Seq_1(b *testing.B)          { runVariant(b, sieve.Seq, benchParams(1)) }
+func BenchmarkFig17_FarmThreads_4(b *testing.B)  { runVariant(b, sieve.FarmThreads, benchParams(4)) }
+func BenchmarkFig17_FarmThreads_16(b *testing.B) { runVariant(b, sieve.FarmThreads, benchParams(16)) }
+func BenchmarkFig17_PipeRMI_4(b *testing.B)      { runVariant(b, sieve.PipeRMI, benchParams(4)) }
+func BenchmarkFig17_PipeRMI_16(b *testing.B)     { runVariant(b, sieve.PipeRMI, benchParams(16)) }
+func BenchmarkFig17_FarmRMI_4(b *testing.B)      { runVariant(b, sieve.FarmRMI, benchParams(4)) }
+func BenchmarkFig17_FarmRMI_16(b *testing.B)     { runVariant(b, sieve.FarmRMI, benchParams(16)) }
+func BenchmarkFig17_FarmDRMI_16(b *testing.B)    { runVariant(b, sieve.FarmDRMI, benchParams(16)) }
+func BenchmarkFig17_FarmMPP_4(b *testing.B)      { runVariant(b, sieve.FarmMPP, benchParams(4)) }
+func BenchmarkFig17_FarmMPP_16(b *testing.B)     { runVariant(b, sieve.FarmMPP, benchParams(16)) }
+
+// --- Ablation B: communication packing on FarmMPP ---------------------------
+
+func BenchmarkPacking_Off(b *testing.B) { runVariant(b, sieve.FarmMPP, benchParams(16)) }
+func BenchmarkPacking_5to1(b *testing.B) {
+	p := benchParams(16)
+	p.PackingDegree = 5
+	runVariant(b, sieve.FarmMPP, p)
+}
+
+// --- Ablation C: static versus dynamic farm under load imbalance ------------
+
+func BenchmarkImbalance_StaticFarm(b *testing.B) {
+	p := benchParams(8)
+	p.Skew = 8
+	runVariant(b, sieve.FarmRMI, p)
+}
+
+func BenchmarkImbalance_DynamicFarm(b *testing.B) {
+	p := benchParams(8)
+	p.Skew = 8
+	runVariant(b, sieve.FarmDRMI, p)
+}
+
+// --- Concern-reuse applications ----------------------------------------------
+
+func BenchmarkAppImagePipeline(b *testing.B) {
+	frames := make([]imagepipe.Frame, 16)
+	for i := range frames {
+		f := make(imagepipe.Frame, 256)
+		for j := range f {
+			f[j] = float64(j%7) / 7
+		}
+		frames[i] = f
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := imagepipe.Build()
+		if _, err := w.Process(exec.Real(), frames); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppMandelFarmStatic(b *testing.B) {
+	spec := mandel.DefaultSpec(64, 32)
+	for i := 0; i < b.N; i++ {
+		w := mandel.Build(spec, 4, false)
+		if _, err := w.Render(exec.Real(), spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppMandelFarmDynamic(b *testing.B) {
+	spec := mandel.DefaultSpec(64, 32)
+	for i := 0; i < b.N; i++ {
+		w := mandel.Build(spec, 4, true)
+		if _, err := w.Render(exec.Real(), spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppHeatHeartbeat(b *testing.B) {
+	rod := make([]float64, 128)
+	for i := 0; i < b.N; i++ {
+		w := heat.Build(rod, 1, 0, 4)
+		if _, err := w.Solve(exec.Real(), 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Command paperbench regenerates the tables and figures of the paper's
+// evaluation (Section 6) on the simulated testbed.
+//
+// Usage:
+//
+//	paperbench [-exp table1|fig16|fig17|packing|imbalance|all]
+//	           [-max N] [-packs N] [-runs N] [-filters 1,4,7,10,13,16]
+//
+// The defaults are the paper's parameters: maximum prime 10,000,000, 50
+// messages, filter counts 1..16, median of 5 runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"aspectpar/internal/bench"
+	"aspectpar/internal/sieve"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1, fig16, fig17, packing, imbalance, all")
+		max     = flag.Int("max", 10_000_000, "largest candidate number")
+		packs   = flag.Int("packs", 50, "number of messages the candidate list splits into")
+		runs    = flag.Int("runs", 5, "runs per configuration (median reported)")
+		filters = flag.String("filters", "1,4,7,10,13,16", "comma-separated filter counts")
+	)
+	flag.Parse()
+
+	counts, err := parseCounts(*filters)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(2)
+	}
+	params := func(f int) sieve.Params {
+		p := sieve.PaperParams(f)
+		p.Max = int32(*max)
+		p.Packs = *packs
+		return p
+	}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("paperbench: simulated testbed = 7 nodes x 4 hardware contexts, GbE; max=%d packs=%d runs=%d\n\n",
+		*max, *packs, *runs)
+
+	run("table1", func() error {
+		fmt.Println(bench.Table1())
+		return nil
+	})
+
+	run("fig16", func() error {
+		series, err := bench.Fig16(counts, *runs, params)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatTable("Figure 16 - Performance of Java versus AspectPar (pipeline, RMI)", series))
+		fmt.Println(bench.FormatChart("Figure 16 (chart)", series, 14))
+		fmt.Println(bench.OverheadSummary(series))
+		fmt.Println()
+		return nil
+	})
+
+	run("fig17", func() error {
+		series, err := bench.Fig17(counts, *runs, params)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatTable("Figure 17 - Performance of AspectPar versions (module combinations)", series))
+		fmt.Println(bench.FormatChart("Figure 17 (chart)", series, 16))
+		return nil
+	})
+
+	run("packing", func() error {
+		f := counts[len(counts)-1]
+		series, err := bench.PackingAblation(f, []int{2, 5, 10}, *runs, params)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatTable(
+			fmt.Sprintf("Ablation B - communication packing on FarmMPP (%d filters)", f), series))
+		return nil
+	})
+
+	run("imbalance", func() error {
+		f := counts[len(counts)-1]
+		series, err := bench.ImbalanceAblation(f, 8, *runs, params)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatTable(
+			fmt.Sprintf("Ablation C - static versus dynamic farm under load imbalance (%d filters, RMI)", f), series))
+		return nil
+	})
+}
+
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad filter count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no filter counts")
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+// Package active implements active objects in the ABCL tradition the paper's
+// related-work section starts from: each active object owns a mailbox and a
+// serving goroutine; clients invoke methods asynchronously and receive
+// futures for results. Because one goroutine serves the mailbox, the wrapped
+// state needs no locks — the object is its own monitor.
+package active
+
+import (
+	"errors"
+	"sync"
+
+	"aspectpar/internal/future"
+)
+
+// ErrStopped is returned for invocations on a stopped object.
+var ErrStopped = errors.New("active: object stopped")
+
+// Object is an active object: a mailbox plus the goroutine serving it.
+type Object struct {
+	mailbox chan func()
+
+	mu      sync.Mutex
+	stopped bool
+	done    chan struct{}
+}
+
+// New starts an active object with the given mailbox capacity (0 =
+// rendezvous: senders block until the object picks each message up).
+func New(mailbox int) *Object {
+	o := &Object{mailbox: make(chan func(), mailbox), done: make(chan struct{})}
+	go o.serve()
+	return o
+}
+
+func (o *Object) serve() {
+	defer close(o.done)
+	for m := range o.mailbox {
+		m()
+	}
+}
+
+// post delivers a message; it reports false when the object is stopped.
+func (o *Object) post(m func()) bool {
+	o.mu.Lock()
+	if o.stopped {
+		o.mu.Unlock()
+		return false
+	}
+	// Holding the lock across the send keeps Stop from closing the mailbox
+	// mid-send; mailbox sends only block when the buffer is full, in which
+	// case concurrent posters queue here, preserving FIFO per poster.
+	o.mailbox <- m
+	o.mu.Unlock()
+	return true
+}
+
+// Cast sends an asynchronous message with no result (ABCL's past type).
+// It returns ErrStopped when the object no longer serves.
+func (o *Object) Cast(fn func()) error {
+	if !o.post(fn) {
+		return ErrStopped
+	}
+	return nil
+}
+
+// Stop closes the mailbox after all queued messages are served and waits
+// for the serving goroutine to finish. Stop is idempotent.
+func (o *Object) Stop() {
+	o.mu.Lock()
+	if !o.stopped {
+		o.stopped = true
+		close(o.mailbox)
+	}
+	o.mu.Unlock()
+	<-o.done
+}
+
+// Invoke sends an asynchronous message whose result the caller may need: it
+// returns a future the serving goroutine resolves (ABCL's future type).
+func Invoke[T any](o *Object, fn func() (T, error)) *future.Future[T] {
+	f, resolve := future.New[T]()
+	if !o.post(func() { resolve(fn()) }) {
+		var zero T
+		resolve(zero, ErrStopped)
+	}
+	return f
+}
+
+// Call is the synchronous form (ABCL's now type): it invokes and waits.
+func Call[T any](o *Object, fn func() (T, error)) (T, error) {
+	return Invoke(o, fn).Get()
+}

@@ -1,0 +1,142 @@
+package active
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"aspectpar/internal/future"
+)
+
+func TestSerialisedState(t *testing.T) {
+	// The active object is its own monitor: unsynchronised state mutated
+	// only by the serving goroutine stays consistent under concurrent
+	// casts.
+	o := New(64)
+	counter := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if err := o.Cast(func() { counter++ }); err != nil {
+					t.Errorf("Cast: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	o.Stop()
+	if counter != 800 {
+		t.Errorf("counter = %d, want 800", counter)
+	}
+}
+
+func TestInvokeReturnsFuture(t *testing.T) {
+	o := New(4)
+	defer o.Stop()
+	f := Invoke(o, func() (string, error) { return "hello", nil })
+	if v, err := f.Get(); v != "hello" || err != nil {
+		t.Errorf("Get = %q, %v", v, err)
+	}
+}
+
+func TestCallSynchronous(t *testing.T) {
+	o := New(0) // rendezvous mailbox
+	defer o.Stop()
+	v, err := Call(o, func() (int, error) { return 5, nil })
+	if v != 5 || err != nil {
+		t.Errorf("Call = %d, %v", v, err)
+	}
+	boom := errors.New("boom")
+	if _, err := Call(o, func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMessageOrderFromOneSender(t *testing.T) {
+	o := New(64)
+	var got []int
+	for i := 0; i < 20; i++ {
+		i := i
+		if err := o.Cast(func() { got = append(got, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o.Stop()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order broken: %v", got)
+		}
+	}
+}
+
+func TestStopDrainsMailbox(t *testing.T) {
+	o := New(64)
+	done := 0
+	for i := 0; i < 10; i++ {
+		_ = o.Cast(func() { done++ })
+	}
+	o.Stop()
+	if done != 10 {
+		t.Errorf("done = %d; Stop must drain queued messages", done)
+	}
+}
+
+func TestAfterStop(t *testing.T) {
+	o := New(1)
+	o.Stop()
+	o.Stop() // idempotent
+	if err := o.Cast(func() {}); !errors.Is(err, ErrStopped) {
+		t.Errorf("Cast after stop = %v", err)
+	}
+	f := Invoke(o, func() (int, error) { return 1, nil })
+	if _, err := f.Get(); !errors.Is(err, ErrStopped) {
+		t.Errorf("Invoke after stop = %v", err)
+	}
+}
+
+func TestFuturePipelineBetweenObjects(t *testing.T) {
+	// Two active objects chained through futures: the ABCL style the
+	// paper's related work describes.
+	producer, consumer := New(4), New(4)
+	defer producer.Stop()
+	defer consumer.Stop()
+	f1 := Invoke(producer, func() (int, error) { return 21, nil })
+	f2 := future.Then(f1, func(v int) (int, error) {
+		return Call(consumer, func() (int, error) { return v * 2, nil })
+	})
+	if v, err := f2.Get(); v != 42 || err != nil {
+		t.Errorf("pipeline = %d, %v", v, err)
+	}
+}
+
+func TestManyObjects(t *testing.T) {
+	objs := make([]*Object, 10)
+	for i := range objs {
+		objs[i] = New(2)
+	}
+	var fs []*future.Future[int]
+	for i, o := range objs {
+		i := i
+		fs = append(fs, Invoke(o, func() (int, error) { return i, nil }))
+	}
+	vals, err := future.All(fs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	if sum != 45 {
+		t.Errorf("sum = %d", sum)
+	}
+	for _, o := range objs {
+		o.Stop()
+	}
+	_ = fmt.Sprint(vals)
+}

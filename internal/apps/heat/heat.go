@@ -1,0 +1,250 @@
+// Package heat demonstrates the heartbeat protocol aspect: a 1-D Jacobi
+// heat-diffusion solver whose rod is split into slabs; every iteration all
+// slabs step in parallel and then exchange boundary temperatures — the
+// paper's third application category.
+package heat
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"aspectpar/internal/exec"
+	"aspectpar/internal/par"
+)
+
+// Slab is the sequential core class: a contiguous segment of the rod with
+// ghost cells at both ends. It knows nothing about who its neighbours are.
+type Slab struct {
+	mu    sync.Mutex
+	cells []float64
+	left  float64 // ghost: temperature just left of cells[0]
+	right float64 // ghost: temperature just right of cells[len-1]
+	ops   int64
+}
+
+// NewSlab builds a slab with initial temperatures and ghost values.
+func NewSlab(cells []float64, left, right float64) (*Slab, error) {
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("heat: empty slab")
+	}
+	return &Slab{cells: append([]float64(nil), cells...), left: left, right: right}, nil
+}
+
+// Step performs one Jacobi update over the slab using the current ghosts.
+func (s *Slab) Step() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := make([]float64, len(s.cells))
+	for i := range s.cells {
+		l := s.left
+		if i > 0 {
+			l = s.cells[i-1]
+		}
+		r := s.right
+		if i+1 < len(s.cells) {
+			r = s.cells[i+1]
+		}
+		next[i] = (l + r) / 2
+		s.ops += 2
+	}
+	s.cells = next
+}
+
+// Edges returns the slab's boundary temperatures (first and last cell).
+func (s *Slab) Edges() (first, last float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cells[0], s.cells[len(s.cells)-1]
+}
+
+// SetGhosts installs the neighbour boundary temperatures for the next step.
+func (s *Slab) SetGhosts(left, right float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.left, s.right = left, right
+}
+
+// Cells returns a copy of the slab's temperatures.
+func (s *Slab) Cells() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.cells...)
+}
+
+// TakeOps implements par.OpsReporter.
+func (s *Slab) TakeOps() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ops := s.ops
+	s.ops = 0
+	return ops
+}
+
+// Sequential iterates Jacobi over the whole rod with fixed boundary
+// temperatures — the oracle the woven heartbeat version is checked against.
+func Sequential(rod []float64, left, right float64, iters int) []float64 {
+	cur := append([]float64(nil), rod...)
+	for it := 0; it < iters; it++ {
+		next := make([]float64, len(cur))
+		for i := range cur {
+			l := left
+			if i > 0 {
+				l = cur[i-1]
+			}
+			r := right
+			if i+1 < len(cur) {
+				r = cur[i+1]
+			}
+			next[i] = (l + r) / 2
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Wiring is the woven application: core class + heartbeat partition.
+type Wiring struct {
+	Dom   *par.Domain
+	Class *par.Class
+	HB    *par.Heartbeat
+	Stack *par.Stack
+}
+
+// Build wires the heartbeat solver: the rod is split into `workers` slabs;
+// the Exchange callback moves edge temperatures between neighbour slabs
+// after every broadcast step (the fixed rod boundaries stay on the outer
+// ghosts).
+func Build(rod []float64, leftBoundary, rightBoundary float64, workers int) *Wiring {
+	if workers > len(rod) {
+		workers = len(rod)
+	}
+	w := &Wiring{Dom: par.NewDomain()}
+	w.Class = w.Dom.Define("Slab",
+		func(args []any) (any, error) {
+			return NewSlab(args[0].([]float64), args[1].(float64), args[2].(float64))
+		},
+		map[string]par.MethodBody{
+			"Step": func(target any, args []any) ([]any, error) {
+				target.(*Slab).Step()
+				return nil, nil
+			},
+			"Edges": func(target any, args []any) ([]any, error) {
+				first, last := target.(*Slab).Edges()
+				return []any{first, last}, nil
+			},
+			"SetGhosts": func(target any, args []any) ([]any, error) {
+				target.(*Slab).SetGhosts(args[0].(float64), args[1].(float64))
+				return nil, nil
+			},
+			"Cells": func(target any, args []any) ([]any, error) {
+				return []any{target.(*Slab).Cells()}, nil
+			},
+		})
+
+	bounds := slabBounds(len(rod), workers)
+	w.HB = par.NewHeartbeat(par.HeartbeatConfig{
+		Class:      w.Class,
+		Workers:    workers,
+		StepMethod: "Step",
+		WorkerArgs: func(orig []any, i int) []any {
+			lo, hi := bounds[i][0], bounds[i][1]
+			left, right := leftBoundary, rightBoundary
+			if i > 0 {
+				left = rod[lo-1]
+			}
+			if i < workers-1 {
+				right = rod[hi]
+			}
+			return []any{rod[lo:hi:hi], left, right}
+		},
+		Exchange: func(ctx exec.Context, ws []any, call par.HBCall) error {
+			// Collect every slab's edges, then install neighbour ghosts.
+			firsts := make([]float64, len(ws))
+			lasts := make([]float64, len(ws))
+			for i, slab := range ws {
+				res, err := call(ctx, slab, "Edges")
+				if err != nil {
+					return err
+				}
+				firsts[i], lasts[i] = res[0].(float64), res[1].(float64)
+			}
+			for i, slab := range ws {
+				left := leftBoundary
+				if i > 0 {
+					left = lasts[i-1]
+				}
+				right := rightBoundary
+				if i < len(ws)-1 {
+					right = firsts[i+1]
+				}
+				if _, err := call(ctx, slab, "SetGhosts", left, right); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	w.Stack = par.NewStack(w.Dom, w.HB)
+	return w
+}
+
+func slabBounds(n, workers int) [][2]int {
+	bounds := make([][2]int, workers)
+	per := n / workers
+	extra := n % workers
+	lo := 0
+	for i := 0; i < workers; i++ {
+		hi := lo + per
+		if i < extra {
+			hi++
+		}
+		bounds[i] = [2]int{lo, hi}
+		lo = hi
+	}
+	return bounds
+}
+
+// Solve creates the slabs and runs `iters` heartbeat iterations, returning
+// the assembled rod.
+func (w *Wiring) Solve(ctx exec.Context, iters int) ([]float64, error) {
+	// The core main: create "the" object (duplicated into slabs by the
+	// heartbeat aspect) and iterate.
+	obj, err := w.Class.New(ctx, []float64(nil), 0.0, 0.0)
+	if err != nil {
+		return nil, err
+	}
+	_ = obj // the loop below drives all slabs through the broadcast advice
+	for it := 0; it < iters; it++ {
+		if _, err := w.Class.Call(ctx, obj, "Step"); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Stack.Join(ctx); err != nil {
+		return nil, err
+	}
+	parts, err := w.HB.Collect(ctx, "Cells")
+	if err != nil {
+		return nil, err
+	}
+	var rod []float64
+	for _, p := range parts {
+		rod = append(rod, p.([]float64)...)
+	}
+	return rod, nil
+}
+
+// MaxDiff returns the largest absolute difference between two rods; it
+// panics on length mismatch (a partitioning bug).
+func MaxDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("heat: rod lengths differ: %d vs %d", len(a), len(b)))
+	}
+	max := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}

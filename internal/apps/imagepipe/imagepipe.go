@@ -1,0 +1,197 @@
+// Package imagepipe demonstrates reuse of the pipeline protocol aspect on a
+// different application (the paper's claim: "moving from a parallel
+// application to another using the same parallelisation strategy is
+// performed by copying the parallelisation aspects and updating these
+// modules"). A stream of image frames passes through a chain of filter
+// stages — blur, sharpen, threshold — each stage an instance of the same
+// sequential core class.
+package imagepipe
+
+import (
+	"fmt"
+	"sync"
+
+	"aspectpar/internal/aspect"
+	"aspectpar/internal/exec"
+	"aspectpar/internal/par"
+)
+
+// Frame is one grayscale scanline-major image, flattened.
+type Frame []float64
+
+// Stage is the sequential core class: one image filter. It is oblivious of
+// pipelining, concurrency and distribution.
+type Stage struct {
+	kind string
+
+	mu   sync.Mutex
+	out  []Frame
+	ops  int64
+	last bool // set by the application after wiring, for result collection
+}
+
+// NewStage builds a filter stage of the given kind: "blur", "sharpen" or
+// "threshold".
+func NewStage(kind string) (*Stage, error) {
+	switch kind {
+	case "blur", "sharpen", "threshold":
+		return &Stage{kind: kind}, nil
+	default:
+		return nil, fmt.Errorf("imagepipe: unknown stage kind %q", kind)
+	}
+}
+
+// Apply filters one frame and returns the result; it also keeps the result
+// so the terminal stage of a pipeline can be drained.
+func (s *Stage) Apply(f Frame) Frame {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(Frame, len(f))
+	switch s.kind {
+	case "blur": // 3-tap box filter
+		for i := range f {
+			sum, n := f[i], 1.0
+			if i > 0 {
+				sum += f[i-1]
+				n++
+			}
+			if i+1 < len(f) {
+				sum += f[i+1]
+				n++
+			}
+			out[i] = sum / n
+			s.ops += 3
+		}
+	case "sharpen": // unsharp mask with the same 3-tap blur
+		for i := range f {
+			sum, n := f[i], 1.0
+			if i > 0 {
+				sum += f[i-1]
+				n++
+			}
+			if i+1 < len(f) {
+				sum += f[i+1]
+				n++
+			}
+			out[i] = 2*f[i] - sum/n
+			s.ops += 4
+		}
+	case "threshold":
+		for i := range f {
+			if f[i] >= 0.5 {
+				out[i] = 1
+			}
+			s.ops += 1
+		}
+	}
+	s.out = append(s.out, out)
+	return out
+}
+
+// Results returns the frames this stage produced, in processing order.
+func (s *Stage) Results() []Frame {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Frame(nil), s.out...)
+}
+
+// TakeOps implements par.OpsReporter.
+func (s *Stage) TakeOps() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ops := s.ops
+	s.ops = 0
+	return ops
+}
+
+// Kinds is the stage sequence of the application's pipeline.
+var Kinds = []string{"blur", "sharpen", "threshold"}
+
+// Sequential applies the full filter chain to each frame — the oracle the
+// woven pipeline is checked against.
+func Sequential(frames []Frame) []Frame {
+	out := make([]Frame, len(frames))
+	for i, f := range frames {
+		cur := f
+		for _, k := range Kinds {
+			s, _ := NewStage(k)
+			cur = s.Apply(cur)
+		}
+		out[i] = cur
+	}
+	return out
+}
+
+// Wiring is the woven application: core class + pipeline + concurrency.
+type Wiring struct {
+	Dom   *par.Domain
+	Class *par.Class
+	Pipe  *par.Pipeline
+	Conc  *par.Concurrency
+	Stack *par.Stack
+}
+
+// Build wires the image pipeline: a three-stage par.Pipeline whose stage
+// arguments select the filter kind, splitting one batch call into per-frame
+// calls and forwarding each stage's output frame to the next stage.
+func Build() *Wiring {
+	w := &Wiring{Dom: par.NewDomain()}
+	w.Class = w.Dom.Define("Stage",
+		func(args []any) (any, error) { return NewStage(args[0].(string)) },
+		map[string]par.MethodBody{
+			"Apply": func(target any, args []any) ([]any, error) {
+				return []any{target.(*Stage).Apply(args[0].(Frame))}, nil
+			},
+			"Results": func(target any, args []any) ([]any, error) {
+				return []any{target.(*Stage).Results()}, nil
+			},
+		})
+	w.Pipe = par.NewPipeline(par.PipelineConfig{
+		Class:  w.Class,
+		Method: "Apply",
+		Stages: len(Kinds),
+		StageArgs: func(orig []any, stage int) []any {
+			return []any{Kinds[stage]}
+		},
+		Split: func(args []any) [][]any {
+			frames := args[0].([]Frame)
+			parts := make([][]any, len(frames))
+			for i, f := range frames {
+				parts[i] = []any{f}
+			}
+			return parts
+		},
+		Forward: func(stage int, results []any, args []any) []any {
+			if len(results) == 0 || results[0] == nil {
+				return nil
+			}
+			return []any{results[0].(Frame)}
+		},
+	})
+	w.Conc = par.NewConcurrency(aspect.Call("Stage", "Apply"))
+	w.Stack = par.NewStack(w.Dom, w.Pipe, w.Conc)
+	return w
+}
+
+// Process runs a batch of frames through the woven pipeline on the given
+// execution context and returns the terminal stage's outputs.
+func (w *Wiring) Process(ctx exec.Context, frames []Frame) ([]Frame, error) {
+	head, err := w.Class.New(ctx, "blur") // duplicated into the whole chain
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Class.Call(ctx, head, "Apply", frames); err != nil {
+		return nil, err
+	}
+	if err := w.Stack.Join(ctx); err != nil {
+		return nil, err
+	}
+	stages := w.Pipe.Managed()
+	last := stages[len(stages)-1]
+	marks := map[string]any{par.MarkInternal: true, par.MarkNoAsync: true}
+	res, err := w.Class.CallMarked(ctx, marks, last, "Results")
+	if err != nil {
+		return nil, err
+	}
+	return res[0].([]Frame), nil
+}

@@ -1,0 +1,128 @@
+package imagepipe
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"aspectpar/internal/exec"
+)
+
+func frames(n, size int) []Frame {
+	out := make([]Frame, n)
+	for i := range out {
+		f := make(Frame, size)
+		for j := range f {
+			f[j] = math.Abs(math.Sin(float64(i*size + j)))
+		}
+		out[i] = f
+	}
+	return out
+}
+
+func TestStageKinds(t *testing.T) {
+	for _, k := range Kinds {
+		if _, err := NewStage(k); err != nil {
+			t.Errorf("NewStage(%q): %v", k, err)
+		}
+	}
+	if _, err := NewStage("emboss"); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+func TestStageOps(t *testing.T) {
+	s, _ := NewStage("blur")
+	s.Apply(make(Frame, 10))
+	if s.TakeOps() == 0 {
+		t.Error("Apply should count operations")
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	s, _ := NewStage("threshold")
+	out := s.Apply(Frame{0.1, 0.5, 0.9})
+	if fmt.Sprint(out) != "[0 1 1]" {
+		t.Errorf("threshold = %v", out)
+	}
+}
+
+func TestWovenMatchesSequential(t *testing.T) {
+	in := frames(8, 32)
+	want := Sequential(in)
+
+	w := Build()
+	got, err := w.Process(exec.Real(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("frames = %d, want %d", len(got), len(want))
+	}
+	// The pipeline is order-preserving per frame content but frames may
+	// complete out of order; match as multisets via sums.
+	sum := func(fs []Frame) float64 {
+		total := 0.0
+		for _, f := range fs {
+			for _, v := range f {
+				total += v
+			}
+		}
+		return total
+	}
+	if math.Abs(sum(got)-sum(want)) > 1e-9 {
+		t.Errorf("content mismatch: got sum %v, want %v", sum(got), sum(want))
+	}
+}
+
+func TestPipelineStagesSeeAllFrames(t *testing.T) {
+	in := frames(5, 16)
+	w := Build()
+	if _, err := w.Process(exec.Real(), in); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range w.Pipe.Managed() {
+		if got := len(s.(*Stage).Results()); got != 5 {
+			t.Errorf("stage %d processed %d frames, want 5", i, got)
+		}
+	}
+}
+
+// Property: threshold output is always 0/1 valued regardless of input.
+func TestThresholdProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		s, _ := NewStage("threshold")
+		if len(vals) == 0 {
+			vals = []float64{0}
+		}
+		for _, v := range s.Apply(Frame(vals)) {
+			if v != 0 && v != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: blur preserves the frame sum on constant frames (box filter of
+// a constant is the constant).
+func TestBlurConstantProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		c := float64(raw) / 255
+		s, _ := NewStage("blur")
+		out := s.Apply(Frame{c, c, c, c, c})
+		for _, v := range out {
+			if math.Abs(v-c) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

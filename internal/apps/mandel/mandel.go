@@ -1,0 +1,188 @@
+// Package mandel demonstrates reuse of the farm protocol aspect: a
+// Mandelbrot renderer whose rows are farmed over workers — the classic
+// "farm with separable dependencies" category from the paper's conclusion.
+package mandel
+
+import (
+	"fmt"
+	"sync"
+
+	"aspectpar/internal/aspect"
+	"aspectpar/internal/exec"
+	"aspectpar/internal/par"
+)
+
+// Spec describes the rendered view.
+type Spec struct {
+	Width, Height int
+	XMin, XMax    float64
+	YMin, YMax    float64
+	MaxIter       int
+}
+
+// DefaultSpec is the classic full-set view.
+func DefaultSpec(w, h int) Spec {
+	return Spec{Width: w, Height: h, XMin: -2, XMax: 1, YMin: -1.2, YMax: 1.2, MaxIter: 64}
+}
+
+// Worker is the sequential core class: it renders rows on demand and keeps
+// them, oblivious of how work is partitioned.
+type Worker struct {
+	spec Spec
+
+	mu   sync.Mutex
+	rows map[int][]uint16
+	ops  int64
+}
+
+// NewWorker builds a renderer for the spec.
+func NewWorker(spec Spec) (*Worker, error) {
+	if spec.Width <= 0 || spec.Height <= 0 || spec.MaxIter <= 0 {
+		return nil, fmt.Errorf("mandel: invalid spec %+v", spec)
+	}
+	return &Worker{spec: spec, rows: make(map[int][]uint16)}, nil
+}
+
+// Render computes the iteration counts of the given rows and stores them.
+func (w *Worker) Render(rows []int32) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, r := range rows {
+		w.rows[int(r)] = w.renderRow(int(r))
+	}
+}
+
+func (w *Worker) renderRow(row int) []uint16 {
+	s := w.spec
+	out := make([]uint16, s.Width)
+	cy := s.YMin + (s.YMax-s.YMin)*float64(row)/float64(s.Height-1)
+	for col := 0; col < s.Width; col++ {
+		cx := s.XMin + (s.XMax-s.XMin)*float64(col)/float64(s.Width-1)
+		var zx, zy float64
+		iter := 0
+		for ; iter < s.MaxIter; iter++ {
+			zx, zy = zx*zx-zy*zy+cx, 2*zx*zy+cy
+			w.ops += 5
+			if zx*zx+zy*zy > 4 {
+				break
+			}
+		}
+		out[col] = uint16(iter)
+	}
+	return out
+}
+
+// Rows returns the rendered rows held by this worker.
+func (w *Worker) Rows() map[int][]uint16 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[int][]uint16, len(w.rows))
+	for k, v := range w.rows {
+		out[k] = v
+	}
+	return out
+}
+
+// TakeOps implements par.OpsReporter.
+func (w *Worker) TakeOps() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ops := w.ops
+	w.ops = 0
+	return ops
+}
+
+// Sequential renders the full image with one worker — the oracle.
+func Sequential(spec Spec) [][]uint16 {
+	w, err := NewWorker(spec)
+	if err != nil {
+		panic(err)
+	}
+	img := make([][]uint16, spec.Height)
+	for r := 0; r < spec.Height; r++ {
+		img[r] = w.renderRow(r)
+	}
+	return img
+}
+
+// Wiring is the woven application: core class + farm + concurrency.
+type Wiring struct {
+	Dom   *par.Domain
+	Class *par.Class
+	Farm  *par.Farm
+	Conc  *par.Concurrency
+	Stack *par.Stack
+}
+
+// Build wires a row farm of the given size; dynamic selects self-scheduling
+// (rows near the set's interior cost far more than exterior rows, so the
+// dynamic farm balances visibly better — the imbalance the sieve lacks).
+func Build(spec Spec, workers int, dynamic bool) *Wiring {
+	w := &Wiring{Dom: par.NewDomain()}
+	w.Class = w.Dom.Define("MandelWorker",
+		func(args []any) (any, error) { return NewWorker(args[0].(Spec)) },
+		map[string]par.MethodBody{
+			"Render": func(target any, args []any) ([]any, error) {
+				target.(*Worker).Render(args[0].([]int32))
+				return nil, nil
+			},
+			"Rows": func(target any, args []any) ([]any, error) {
+				return []any{target.(*Worker).Rows()}, nil
+			},
+		})
+	w.Farm = par.NewFarm(par.FarmConfig{
+		Class:   w.Class,
+		Method:  "Render",
+		Workers: workers,
+		Split: func(args []any) [][]any {
+			rows := args[0].([]int32)
+			parts := make([][]any, 0, len(rows))
+			for _, r := range rows {
+				parts = append(parts, []any{[]int32{r}})
+			}
+			return parts
+		},
+		Dynamic: dynamic,
+	})
+	mods := []par.Module{w.Farm}
+	if !dynamic {
+		w.Conc = par.NewConcurrency(aspect.Call("MandelWorker", "Render"))
+		mods = append(mods, w.Conc)
+	}
+	w.Stack = par.NewStack(w.Dom, mods...)
+	return w
+}
+
+// Render runs the farm over all rows and assembles the image.
+func (w *Wiring) Render(ctx exec.Context, spec Spec) ([][]uint16, error) {
+	first, err := w.Class.New(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]int32, spec.Height)
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	if _, err := w.Class.Call(ctx, first, "Render", rows); err != nil {
+		return nil, err
+	}
+	if err := w.Stack.Join(ctx); err != nil {
+		return nil, err
+	}
+	img := make([][]uint16, spec.Height)
+	parts, err := w.Farm.Collect(ctx, "Rows")
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range parts {
+		for r, counts := range p.(map[int][]uint16) {
+			img[r] = counts
+		}
+	}
+	for r, row := range img {
+		if row == nil {
+			return nil, fmt.Errorf("mandel: row %d never rendered", r)
+		}
+	}
+	return img, nil
+}

@@ -1,0 +1,82 @@
+package mandel
+
+import (
+	"testing"
+
+	"aspectpar/internal/exec"
+)
+
+func TestSpecValidation(t *testing.T) {
+	if _, err := NewWorker(Spec{}); err == nil {
+		t.Error("zero spec should fail")
+	}
+	if _, err := NewWorker(DefaultSpec(8, 8)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKnownPoints(t *testing.T) {
+	spec := DefaultSpec(64, 48)
+	img := Sequential(spec)
+	// The origin (0,0) is inside the set: iteration count = MaxIter.
+	row := int(float64(spec.Height-1) * (0 - spec.YMin) / (spec.YMax - spec.YMin))
+	col := int(float64(spec.Width-1) * (0 - spec.XMin) / (spec.XMax - spec.XMin))
+	if got := img[row][col]; int(got) != spec.MaxIter {
+		t.Errorf("origin iter = %d, want %d", got, spec.MaxIter)
+	}
+	// The top-left corner (-2, -1.2) escapes immediately-ish.
+	if img[0][0] > 4 {
+		t.Errorf("corner iter = %d, want small", img[0][0])
+	}
+}
+
+func TestFarmMatchesSequential(t *testing.T) {
+	spec := DefaultSpec(40, 24)
+	want := Sequential(spec)
+	for _, dynamic := range []bool{false, true} {
+		w := Build(spec, 3, dynamic)
+		got, err := w.Render(exec.Real(), spec)
+		if err != nil {
+			t.Fatalf("dynamic=%v: %v", dynamic, err)
+		}
+		for r := range want {
+			for c := range want[r] {
+				if got[r][c] != want[r][c] {
+					t.Fatalf("dynamic=%v: pixel (%d,%d) = %d, want %d",
+						dynamic, r, c, got[r][c], want[r][c])
+				}
+			}
+		}
+	}
+}
+
+func TestRowsDistributedAcrossWorkers(t *testing.T) {
+	spec := DefaultSpec(16, 12)
+	w := Build(spec, 4, false)
+	if _, err := w.Render(exec.Real(), spec); err != nil {
+		t.Fatal(err)
+	}
+	busy := 0
+	total := 0
+	for _, obj := range w.Farm.Managed() {
+		n := len(obj.(*Worker).Rows())
+		total += n
+		if n > 0 {
+			busy++
+		}
+	}
+	if total != spec.Height {
+		t.Errorf("rows rendered = %d, want %d", total, spec.Height)
+	}
+	if busy < 2 {
+		t.Errorf("only %d workers rendered rows", busy)
+	}
+}
+
+func TestWorkerOps(t *testing.T) {
+	w, _ := NewWorker(DefaultSpec(8, 8))
+	w.Render([]int32{0})
+	if w.TakeOps() == 0 {
+		t.Error("Render should count operations")
+	}
+}

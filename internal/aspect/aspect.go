@@ -1,0 +1,196 @@
+package aspect
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// ProceedFunc continues the intercepted event. For a call joinpoint it runs
+// the remaining advice chain and finally the method body; for a construction
+// joinpoint the final body constructs and returns the object as results[0].
+// Around advice may pass modified arguments; passing nil reuses the current
+// joinpoint arguments. Around advice may also call proceed more than once
+// (the paper's object duplication does exactly that) or not at all.
+type ProceedFunc func(args []any) ([]any, error)
+
+// AroundAdvice wraps the joinpoint: it decides if, when, how often and with
+// which arguments the original event executes.
+type AroundAdvice func(jp *JoinPoint, proceed ProceedFunc) ([]any, error)
+
+// BeforeAdvice runs before the joinpoint executes.
+type BeforeAdvice func(jp *JoinPoint)
+
+// AfterAdvice runs after the joinpoint finished, successfully or not
+// (AspectJ "after").
+type AfterAdvice func(jp *JoinPoint, results []any, err error)
+
+// AfterReturningAdvice runs only after the joinpoint returned without error.
+type AfterReturningAdvice func(jp *JoinPoint, results []any)
+
+// AfterErrorAdvice runs only after the joinpoint returned an error
+// (AspectJ "after throwing").
+type AfterErrorAdvice func(jp *JoinPoint, err error)
+
+// advice is one bound piece of advice inside an aspect.
+type advice struct {
+	pc     Pointcut
+	around AroundAdvice // every advice form is normalised to around
+	form   string       // for String()
+}
+
+// Aspect is a named, pluggable module of advice. It corresponds directly to
+// an AspectJ "aspect" declaration: the paper's Partition, Concurrency,
+// Distribution and Optimisation concerns are each one Aspect (or a small
+// family of them).
+//
+// Construct with NewAspect, attach advice with the Before/After/Around
+// methods, then plug it into a Weaver. An aspect may be shared by several
+// weavers. All methods are safe for concurrent use.
+type Aspect struct {
+	name       string
+	precedence int32
+	disabled   atomic.Bool
+
+	mu      chan struct{} // 1-slot semaphore guarding advices
+	advices []advice
+	gen     atomic.Uint64 // bumped on advice changes
+
+	weavers weaverSet // weavers this aspect is plugged into (for invalidation)
+}
+
+// NewAspect creates an empty enabled aspect. Precedence follows AspectJ
+// "declare precedence": a higher value runs first, i.e. outermost for around
+// advice; ties run in plug order.
+func NewAspect(name string, precedence int) *Aspect {
+	a := &Aspect{name: name, precedence: int32(precedence), mu: make(chan struct{}, 1)}
+	return a
+}
+
+// Name returns the aspect's name.
+func (a *Aspect) Name() string { return a.name }
+
+// Precedence returns the aspect's precedence value.
+func (a *Aspect) Precedence() int { return int(a.precedence) }
+
+// Enabled reports whether the aspect currently contributes advice.
+func (a *Aspect) Enabled() bool { return !a.disabled.Load() }
+
+// SetEnabled switches the aspect's advice on or off without unplugging it —
+// the "(un)pluggability" the paper demonstrates for debugging. It is cheaper
+// than Weaver.Unplug and keeps the plug order (and thus tie-breaking) stable.
+func (a *Aspect) SetEnabled(on bool) {
+	if a.disabled.Load() == !on {
+		return
+	}
+	a.disabled.Store(!on)
+	a.invalidate()
+}
+
+func (a *Aspect) lock()   { a.mu <- struct{}{} }
+func (a *Aspect) unlock() { <-a.mu }
+
+func (a *Aspect) add(ad advice) *Aspect {
+	if ad.pc == nil {
+		panic(fmt.Sprintf("aspect %q: nil pointcut", a.name))
+	}
+	a.lock()
+	a.advices = append(a.advices, ad)
+	a.unlock()
+	a.invalidate()
+	return a
+}
+
+// Around attaches around advice at the pointcut. Returns the aspect for
+// chaining.
+func (a *Aspect) Around(pc Pointcut, adv AroundAdvice) *Aspect {
+	return a.add(advice{pc: pc, around: adv, form: "around"})
+}
+
+// AroundP is Around with the pointcut given in the pattern language; it
+// panics on a malformed pattern (aspect definitions are static).
+func (a *Aspect) AroundP(pattern string, adv AroundAdvice) *Aspect {
+	return a.Around(MustParsePointcut(pattern), adv)
+}
+
+// Before attaches before advice at the pointcut.
+func (a *Aspect) Before(pc Pointcut, adv BeforeAdvice) *Aspect {
+	return a.add(advice{pc: pc, form: "before", around: func(jp *JoinPoint, proceed ProceedFunc) ([]any, error) {
+		adv(jp)
+		return proceed(nil)
+	}})
+}
+
+// BeforeP is Before with a pattern-language pointcut.
+func (a *Aspect) BeforeP(pattern string, adv BeforeAdvice) *Aspect {
+	return a.Before(MustParsePointcut(pattern), adv)
+}
+
+// After attaches after advice (runs on success and on error).
+func (a *Aspect) After(pc Pointcut, adv AfterAdvice) *Aspect {
+	return a.add(advice{pc: pc, form: "after", around: func(jp *JoinPoint, proceed ProceedFunc) ([]any, error) {
+		res, err := proceed(nil)
+		adv(jp, res, err)
+		return res, err
+	}})
+}
+
+// AfterP is After with a pattern-language pointcut.
+func (a *Aspect) AfterP(pattern string, adv AfterAdvice) *Aspect {
+	return a.After(MustParsePointcut(pattern), adv)
+}
+
+// AfterReturning attaches advice that runs only on successful completion.
+func (a *Aspect) AfterReturning(pc Pointcut, adv AfterReturningAdvice) *Aspect {
+	return a.add(advice{pc: pc, form: "after-returning", around: func(jp *JoinPoint, proceed ProceedFunc) ([]any, error) {
+		res, err := proceed(nil)
+		if err == nil {
+			adv(jp, res)
+		}
+		return res, err
+	}})
+}
+
+// AfterError attaches advice that runs only when the joinpoint failed.
+func (a *Aspect) AfterError(pc Pointcut, adv AfterErrorAdvice) *Aspect {
+	return a.add(advice{pc: pc, form: "after-error", around: func(jp *JoinPoint, proceed ProceedFunc) ([]any, error) {
+		res, err := proceed(nil)
+		if err != nil {
+			adv(jp, err)
+		}
+		return res, err
+	}})
+}
+
+// matching appends to dst the around forms of this aspect's advice whose
+// pointcuts select the shadow, in declaration order.
+func (a *Aspect) matching(dst []AroundAdvice, s Shadow) []AroundAdvice {
+	if a.disabled.Load() {
+		return dst
+	}
+	a.lock()
+	for _, ad := range a.advices {
+		if ad.pc.Matches(s) {
+			dst = append(dst, ad.around)
+		}
+	}
+	a.unlock()
+	return dst
+}
+
+// invalidate notifies all weavers the aspect is plugged into.
+func (a *Aspect) invalidate() {
+	a.gen.Add(1)
+	a.weavers.invalidateAll()
+}
+
+// String renders the aspect with its advice count for diagnostics.
+func (a *Aspect) String() string {
+	a.lock()
+	n := len(a.advices)
+	a.unlock()
+	state := "enabled"
+	if a.disabled.Load() {
+		state = "disabled"
+	}
+	return fmt.Sprintf("aspect %s (precedence %d, %d advice, %s)", a.name, a.precedence, n, state)
+}

@@ -1,0 +1,114 @@
+package aspect
+
+import "fmt"
+
+// Kind classifies a joinpoint.
+type Kind uint8
+
+const (
+	// KindCall is a method call joinpoint (AspectJ: call/execution).
+	KindCall Kind = iota
+	// KindNew is an object construction joinpoint (AspectJ: call on a
+	// constructor signature, the paper's "around(PrimeFilter.new(..))").
+	KindNew
+)
+
+// String returns the pointcut-language keyword for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCall:
+		return "call"
+	case KindNew:
+		return "new"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// JoinPoint is a reified event in the execution of the core functionality:
+// an object construction or a method call. Advice receives the joinpoint and
+// may inspect the target, read or replace arguments (through proceed), and
+// attach typed context for inner advice.
+type JoinPoint struct {
+	// Kind is the event class: construction or call.
+	Kind Kind
+	// Type is the logical type name of the target, e.g. "PrimeFilter".
+	// It is the name the woven call site declared, not a reflected name,
+	// matching AspectJ where the static type at the call site is matched.
+	Type string
+	// Method is the method name for KindCall joinpoints; for KindNew it is
+	// the conventional name "new".
+	Method string
+	// Target is the receiver of a call joinpoint. It is nil for KindNew
+	// (the object does not exist yet) and for static (receiver-less) calls.
+	Target any
+	// Args holds the call or constructor arguments as declared at the
+	// woven call site.
+	Args []any
+	// Ctx is the execution context the call site runs under. The
+	// parallelisation aspects thread an exec.Context here; the kernel
+	// treats it as opaque.
+	Ctx any
+
+	// vals carries advice-to-advice context (outer advice can leave
+	// information for inner advice, e.g. "this call is already remote").
+	vals map[string]any
+}
+
+// Signature renders the joinpoint as a pointcut-style signature, e.g.
+// "call(PrimeFilter.Filter)" or "new(PrimeFilter)".
+func (jp *JoinPoint) Signature() string {
+	if jp.Kind == KindNew {
+		return fmt.Sprintf("new(%s)", jp.Type)
+	}
+	return fmt.Sprintf("%s(%s.%s)", jp.Kind, jp.Type, jp.Method)
+}
+
+// Set attaches a named value to the joinpoint, visible to advice that runs
+// after (inner to) the caller in the same chain. It mimics per-joinpoint
+// aspect state (AspectJ idiom: percflow aspect fields).
+func (jp *JoinPoint) Set(key string, v any) {
+	if jp.vals == nil {
+		jp.vals = make(map[string]any, 2)
+	}
+	jp.vals[key] = v
+}
+
+// Value reads a named value attached with Set; ok reports whether it exists.
+func (jp *JoinPoint) Value(key string) (v any, ok bool) {
+	v, ok = jp.vals[key]
+	return v, ok
+}
+
+// Bool reads a named boolean value attached with Set, defaulting to false.
+func (jp *JoinPoint) Bool(key string) bool {
+	v, ok := jp.vals[key]
+	if !ok {
+		return false
+	}
+	b, _ := v.(bool)
+	return b
+}
+
+// Arg returns argument i, or nil when out of range. Advice that knows the
+// woven signature uses typed assertions on the result.
+func (jp *JoinPoint) Arg(i int) any {
+	if i < 0 || i >= len(jp.Args) {
+		return nil
+	}
+	return jp.Args[i]
+}
+
+// Shadow is the static part of a joinpoint — what is known at the call site
+// without executing it. Pointcuts match shadows so that advice chains can be
+// computed once and cached.
+type Shadow struct {
+	Kind   Kind
+	Type   string
+	Method string
+}
+
+// shadow extracts the static shadow of the joinpoint.
+func (jp *JoinPoint) shadow() Shadow {
+	return Shadow{Kind: jp.Kind, Type: jp.Type, Method: jp.Method}
+}

@@ -1,0 +1,361 @@
+package aspect
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pointcut selects joinpoint shadows. Matching happens against the static
+// [Shadow] so the weaver can build and cache advice chains per call site.
+type Pointcut interface {
+	// Matches reports whether the shadow is selected by this pointcut.
+	Matches(s Shadow) bool
+	// String renders the pointcut in the pattern language.
+	String() string
+}
+
+// PointcutFunc adapts a predicate function to the Pointcut interface.
+type PointcutFunc func(s Shadow) bool
+
+// Matches implements Pointcut.
+func (f PointcutFunc) Matches(s Shadow) bool { return f(s) }
+
+// String implements Pointcut.
+func (f PointcutFunc) String() string { return "func(...)" }
+
+// ---------------------------------------------------------------------------
+// Primitive pointcuts
+// ---------------------------------------------------------------------------
+
+// callPointcut matches method-call joinpoints by type and method pattern.
+type callPointcut struct {
+	typePat, methodPat string
+}
+
+func (c callPointcut) Matches(s Shadow) bool {
+	return s.Kind == KindCall && Glob(c.typePat, s.Type) && Glob(c.methodPat, s.Method)
+}
+
+func (c callPointcut) String() string {
+	return fmt.Sprintf("call(%s.%s(..))", c.typePat, c.methodPat)
+}
+
+// newPointcut matches construction joinpoints by type pattern.
+type newPointcut struct {
+	typePat string
+}
+
+func (n newPointcut) Matches(s Shadow) bool {
+	return s.Kind == KindNew && Glob(n.typePat, s.Type)
+}
+
+func (n newPointcut) String() string { return fmt.Sprintf("new(%s)", n.typePat) }
+
+// Call returns a pointcut matching method-call joinpoints whose type and
+// method names match the given glob patterns ('*' matches any run of
+// characters, '?' exactly one).
+func Call(typePat, methodPat string) Pointcut {
+	return callPointcut{typePat: typePat, methodPat: methodPat}
+}
+
+// New returns a pointcut matching construction joinpoints whose type name
+// matches the glob pattern.
+func New(typePat string) Pointcut { return newPointcut{typePat: typePat} }
+
+// ---------------------------------------------------------------------------
+// Combinators
+// ---------------------------------------------------------------------------
+
+type andPointcut struct{ a, b Pointcut }
+
+func (p andPointcut) Matches(s Shadow) bool { return p.a.Matches(s) && p.b.Matches(s) }
+func (p andPointcut) String() string        { return "(" + p.a.String() + " && " + p.b.String() + ")" }
+
+type orPointcut struct{ a, b Pointcut }
+
+func (p orPointcut) Matches(s Shadow) bool { return p.a.Matches(s) || p.b.Matches(s) }
+func (p orPointcut) String() string        { return "(" + p.a.String() + " || " + p.b.String() + ")" }
+
+type notPointcut struct{ p Pointcut }
+
+func (p notPointcut) Matches(s Shadow) bool { return !p.p.Matches(s) }
+func (p notPointcut) String() string        { return "!" + p.p.String() }
+
+// And intersects pointcuts (AspectJ &&). With no arguments it matches nothing.
+func And(ps ...Pointcut) Pointcut {
+	if len(ps) == 0 {
+		return PointcutFunc(func(Shadow) bool { return false })
+	}
+	p := ps[0]
+	for _, q := range ps[1:] {
+		p = andPointcut{p, q}
+	}
+	return p
+}
+
+// Or unions pointcuts (AspectJ ||). With no arguments it matches nothing.
+func Or(ps ...Pointcut) Pointcut {
+	if len(ps) == 0 {
+		return PointcutFunc(func(Shadow) bool { return false })
+	}
+	p := ps[0]
+	for _, q := range ps[1:] {
+		p = orPointcut{p, q}
+	}
+	return p
+}
+
+// Not complements a pointcut (AspectJ !).
+func Not(p Pointcut) Pointcut { return notPointcut{p} }
+
+// ---------------------------------------------------------------------------
+// Glob matching
+// ---------------------------------------------------------------------------
+
+// Glob reports whether name matches pattern, where '*' matches any (possibly
+// empty) run of characters and '?' matches exactly one character. This is the
+// wildcard semantics of AspectJ signature patterns restricted to one segment.
+func Glob(pattern, name string) bool {
+	// Iterative backtracking glob match: O(len(pattern)*len(name)) worst
+	// case, no allocation.
+	px, nx := 0, 0
+	backPx, backNx := -1, 0
+	for nx < len(name) {
+		switch {
+		case px < len(pattern) && (pattern[px] == '?' || pattern[px] == name[nx]):
+			px++
+			nx++
+		case px < len(pattern) && pattern[px] == '*':
+			backPx, backNx = px, nx
+			px++
+		case backPx >= 0:
+			backNx++
+			px, nx = backPx+1, backNx
+		default:
+			return false
+		}
+	}
+	for px < len(pattern) && pattern[px] == '*' {
+		px++
+	}
+	return px == len(pattern)
+}
+
+// ---------------------------------------------------------------------------
+// Pattern-language parser
+// ---------------------------------------------------------------------------
+//
+// Grammar (whitespace-insensitive):
+//
+//	expr    = term { "||" term }
+//	term    = factor { "&&" factor }
+//	factor  = "!" factor | "(" expr ")" | primary
+//	primary = kind "(" signature ")"
+//	kind    = "call" | "execution" | "new" | "init"
+//
+// For call/execution the signature is TypePat "." MethodPat with an optional
+// trailing argument pattern, which must be "()" or "(..)" (argument matching
+// beyond arity is not reproduced; the paper's pointcuts only use "(..)").
+// For new/init the signature is TypePat with the same optional suffix.
+
+// ParsePointcut parses an expression in the pointcut pattern language.
+func ParsePointcut(src string) (Pointcut, error) {
+	p := &pcParser{src: src}
+	pc, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("aspect: trailing input at offset %d in pointcut %q", p.pos, src)
+	}
+	return pc, nil
+}
+
+// MustParsePointcut is like ParsePointcut but panics on error. Use it for
+// pointcut literals in aspect definitions.
+func MustParsePointcut(src string) Pointcut {
+	pc, err := ParsePointcut(src)
+	if err != nil {
+		panic(err)
+	}
+	return pc
+}
+
+type pcParser struct {
+	src string
+	pos int
+}
+
+func (p *pcParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *pcParser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *pcParser) eat(tok string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *pcParser) parseExpr() (Pointcut, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.eat("||") {
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = orPointcut{left, right}
+	}
+	return left, nil
+}
+
+func (p *pcParser) parseTerm() (Pointcut, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.eat("&&") {
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = andPointcut{left, right}
+	}
+	return left, nil
+}
+
+func (p *pcParser) parseFactor() (Pointcut, error) {
+	p.skipSpace()
+	if p.eat("!") {
+		inner, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return notPointcut{inner}, nil
+	}
+	if p.eat("(") {
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.eat(")") {
+			return nil, fmt.Errorf("aspect: missing ')' at offset %d in pointcut %q", p.pos, p.src)
+		}
+		return inner, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *pcParser) parsePrimary() (Pointcut, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && isIdentChar(p.src[p.pos]) {
+		p.pos++
+	}
+	kw := p.src[start:p.pos]
+	switch kw {
+	case "call", "execution":
+		sig, err := p.parseParenBody()
+		if err != nil {
+			return nil, err
+		}
+		typePat, methodPat, err := splitCallSignature(sig)
+		if err != nil {
+			return nil, fmt.Errorf("aspect: %w in pointcut %q", err, p.src)
+		}
+		return callPointcut{typePat: typePat, methodPat: methodPat}, nil
+	case "new", "init":
+		sig, err := p.parseParenBody()
+		if err != nil {
+			return nil, err
+		}
+		typePat, err := stripArgSuffix(sig)
+		if err != nil {
+			return nil, fmt.Errorf("aspect: %w in pointcut %q", err, p.src)
+		}
+		if typePat == "" || strings.Contains(typePat, ".") {
+			return nil, fmt.Errorf("aspect: invalid type pattern %q in pointcut %q", typePat, p.src)
+		}
+		return newPointcut{typePat: typePat}, nil
+	case "":
+		return nil, fmt.Errorf("aspect: expected pointcut at offset %d in %q", start, p.src)
+	default:
+		return nil, fmt.Errorf("aspect: unknown pointcut kind %q in %q", kw, p.src)
+	}
+}
+
+// parseParenBody consumes "(" ... ")" with balanced nesting and returns the
+// body text.
+func (p *pcParser) parseParenBody() (string, error) {
+	p.skipSpace()
+	if p.peek() != '(' {
+		return "", fmt.Errorf("aspect: expected '(' at offset %d in pointcut %q", p.pos, p.src)
+	}
+	p.pos++
+	depth := 1
+	start := p.pos
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				body := p.src[start:p.pos]
+				p.pos++
+				return strings.TrimSpace(body), nil
+			}
+		}
+		p.pos++
+	}
+	return "", fmt.Errorf("aspect: unterminated '(' in pointcut %q", p.src)
+}
+
+func isIdentChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+// splitCallSignature splits "Type.Method" or "Type.Method(..)" into patterns.
+func splitCallSignature(sig string) (typePat, methodPat string, err error) {
+	sig, err = stripArgSuffix(sig)
+	if err != nil {
+		return "", "", err
+	}
+	dot := strings.LastIndexByte(sig, '.')
+	if dot < 0 {
+		return "", "", fmt.Errorf("call signature %q needs the form Type.Method", sig)
+	}
+	typePat, methodPat = strings.TrimSpace(sig[:dot]), strings.TrimSpace(sig[dot+1:])
+	if typePat == "" || methodPat == "" {
+		return "", "", fmt.Errorf("call signature %q needs the form Type.Method", sig)
+	}
+	return typePat, methodPat, nil
+}
+
+// stripArgSuffix removes a trailing "()" or "(..)" argument pattern.
+func stripArgSuffix(sig string) (string, error) {
+	sig = strings.TrimSpace(sig)
+	if i := strings.IndexByte(sig, '('); i >= 0 {
+		args := strings.TrimSpace(sig[i:])
+		if args != "()" && args != "(..)" {
+			return "", fmt.Errorf("unsupported argument pattern %q (only () and (..) are supported)", args)
+		}
+		sig = strings.TrimSpace(sig[:i])
+	}
+	return sig, nil
+}

@@ -1,0 +1,280 @@
+package aspect
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGlobBasics(t *testing.T) {
+	cases := []struct {
+		pattern, name string
+		want          bool
+	}{
+		{"", "", true},
+		{"", "x", false},
+		{"*", "", true},
+		{"*", "anything", true},
+		{"Prime*", "PrimeFilter", true},
+		{"Prime*", "Prime", true},
+		{"Prime*", "primeFilter", false},
+		{"*Filter", "PrimeFilter", true},
+		{"*Filter", "Filter", true},
+		{"*Filter", "FilterBank", false},
+		{"P*F*r", "PrimeFilter", true},
+		{"P?ime", "Prime", true},
+		{"P?ime", "Pime", false},
+		{"?", "", false},
+		{"?", "a", true},
+		{"a*b*c", "abc", true},
+		{"a*b*c", "axxbyyc", true},
+		{"a*b*c", "axxbyy", false},
+		{"move*", "moveX", true},
+		{"move*", "remove", false},
+		{"**", "x", true},
+		{"*a*", "bab", true},
+		{"*a*", "bbb", false},
+	}
+	for _, c := range cases {
+		if got := Glob(c.pattern, c.name); got != c.want {
+			t.Errorf("Glob(%q, %q) = %v, want %v", c.pattern, c.name, got, c.want)
+		}
+	}
+}
+
+func TestGlobProperties(t *testing.T) {
+	// Any literal string matches itself.
+	selfMatch := func(s string) bool {
+		if strings.ContainsAny(s, "*?") {
+			return true // skip metacharacters
+		}
+		return Glob(s, s)
+	}
+	if err := quick.Check(selfMatch, nil); err != nil {
+		t.Error(err)
+	}
+	// "*" matches everything.
+	star := func(s string) bool { return Glob("*", s) }
+	if err := quick.Check(star, nil); err != nil {
+		t.Error(err)
+	}
+	// Prefix pattern p+"*" matches p+anything.
+	prefix := func(p, rest string) bool {
+		if strings.ContainsAny(p, "*?") {
+			return true
+		}
+		return Glob(p+"*", p+rest)
+	}
+	if err := quick.Check(prefix, nil); err != nil {
+		t.Error(err)
+	}
+	// Suffix pattern "*"+s matches anything+s.
+	suffix := func(pre, s string) bool {
+		if strings.ContainsAny(s, "*?") {
+			return true
+		}
+		return Glob("*"+s, pre+s)
+	}
+	if err := quick.Check(suffix, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func callShadow(typ, method string) Shadow {
+	return Shadow{Kind: KindCall, Type: typ, Method: method}
+}
+
+func newShadow(typ string) Shadow { return Shadow{Kind: KindNew, Type: typ, Method: "new"} }
+
+func TestPrimitivePointcuts(t *testing.T) {
+	pc := Call("PrimeFilter", "Filter")
+	if !pc.Matches(callShadow("PrimeFilter", "Filter")) {
+		t.Error("exact call should match")
+	}
+	if pc.Matches(callShadow("PrimeFilter", "Other")) {
+		t.Error("different method should not match")
+	}
+	if pc.Matches(newShadow("PrimeFilter")) {
+		t.Error("call pointcut must not match construction")
+	}
+
+	np := New("Prime*")
+	if !np.Matches(newShadow("PrimeFilter")) {
+		t.Error("new pattern should match")
+	}
+	if np.Matches(callShadow("PrimeFilter", "new")) {
+		t.Error("new pointcut must not match calls")
+	}
+}
+
+func TestCombinators(t *testing.T) {
+	pc := And(Call("*", "move*"), Not(Call("*", "moveY")))
+	if !pc.Matches(callShadow("Point", "moveX")) {
+		t.Error("moveX should match")
+	}
+	if pc.Matches(callShadow("Point", "moveY")) {
+		t.Error("moveY excluded by Not")
+	}
+	or := Or(Call("A", "f"), Call("B", "g"))
+	if !or.Matches(callShadow("B", "g")) {
+		t.Error("Or should match second alternative")
+	}
+	if or.Matches(callShadow("A", "g")) {
+		t.Error("Or must not cross-match")
+	}
+	if And().Matches(callShadow("A", "f")) {
+		t.Error("empty And matches nothing")
+	}
+	if Or().Matches(callShadow("A", "f")) {
+		t.Error("empty Or matches nothing")
+	}
+}
+
+func TestParsePointcutForms(t *testing.T) {
+	cases := []struct {
+		src    string
+		match  []Shadow
+		reject []Shadow
+	}{
+		{
+			src:    "call(PrimeFilter.Filter(..))",
+			match:  []Shadow{callShadow("PrimeFilter", "Filter")},
+			reject: []Shadow{callShadow("PrimeFilter", "filter"), newShadow("PrimeFilter")},
+		},
+		{
+			src:    "execution(Point.move*())",
+			match:  []Shadow{callShadow("Point", "moveX"), callShadow("Point", "move")},
+			reject: []Shadow{callShadow("Point", "jump")},
+		},
+		{
+			src:    "new(Prime*)",
+			match:  []Shadow{newShadow("PrimeFilter"), newShadow("Prime")},
+			reject: []Shadow{newShadow("Point"), callShadow("PrimeFilter", "new")},
+		},
+		{
+			src:    "init(Worker)",
+			match:  []Shadow{newShadow("Worker")},
+			reject: []Shadow{newShadow("Workers")},
+		},
+		{
+			src:    "call(A.f(..)) || call(B.g())",
+			match:  []Shadow{callShadow("A", "f"), callShadow("B", "g")},
+			reject: []Shadow{callShadow("A", "g")},
+		},
+		{
+			src:    "call(*.f(..)) && !call(X.*(..))",
+			match:  []Shadow{callShadow("Y", "f")},
+			reject: []Shadow{callShadow("X", "f")},
+		},
+		{
+			src:    "!(call(A.f(..)) || new(B))",
+			match:  []Shadow{callShadow("C", "h")},
+			reject: []Shadow{callShadow("A", "f"), newShadow("B")},
+		},
+		{
+			src:   "  call( Spaced . name (..) ) ",
+			match: []Shadow{callShadow("Spaced", "name")},
+		},
+	}
+	for _, c := range cases {
+		pc, err := ParsePointcut(c.src)
+		if err != nil {
+			t.Errorf("ParsePointcut(%q): %v", c.src, err)
+			continue
+		}
+		for _, s := range c.match {
+			if !pc.Matches(s) {
+				t.Errorf("%q should match %+v", c.src, s)
+			}
+		}
+		for _, s := range c.reject {
+			if pc.Matches(s) {
+				t.Errorf("%q should not match %+v", c.src, s)
+			}
+		}
+	}
+}
+
+func TestParsePointcutErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"call",
+		"call(NoDot)",
+		"call(A.f(int))", // unsupported arg pattern
+		"walk(A.f(..))",
+		"call(A.f(..)) &&",
+		"call(A.f(..)) || ",
+		"(call(A.f(..))",
+		"new(A.B)",
+		"new()",
+		"call(A.f(..)) extra",
+		"!",
+	}
+	for _, src := range bad {
+		if _, err := ParsePointcut(src); err == nil {
+			t.Errorf("ParsePointcut(%q) should fail", src)
+		}
+	}
+}
+
+func TestMustParsePointcutPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParsePointcut should panic on malformed input")
+		}
+	}()
+	MustParsePointcut("call(")
+}
+
+func TestPointcutString(t *testing.T) {
+	pc := MustParsePointcut("call(A.f(..)) && !new(B)")
+	s := pc.String()
+	for _, frag := range []string{"call(A.f(..))", "new(B)", "!"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q, missing %q", s, frag)
+		}
+	}
+}
+
+// Property: a parsed call pointcut behaves identically to the programmatic
+// one built from the same patterns.
+func TestParseEquivalentToProgrammatic(t *testing.T) {
+	f := func(typ, method string) bool {
+		// Restrict to identifier-ish names to keep the pattern parseable.
+		if !identLike(typ) || !identLike(method) {
+			return true
+		}
+		parsed, err := ParsePointcut("call(" + typ + "." + method + "(..))")
+		if err != nil {
+			return false
+		}
+		prog := Call(typ, method)
+		probes := []Shadow{
+			callShadow(typ, method),
+			callShadow(typ+"x", method),
+			callShadow(typ, method+"x"),
+			newShadow(typ),
+		}
+		for _, s := range probes {
+			if parsed.Matches(s) != prog.Matches(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func identLike(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isIdentChar(s[i]) && s[i] != '*' && s[i] != '?' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,292 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (Section 6) from the reproduction, plus
+// the ablations DESIGN.md calls out. Output is plain text: one table per
+// experiment with the same rows/series the paper reports, and an ASCII
+// rendition of each figure.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"aspectpar/internal/sieve"
+)
+
+// DefaultFilterCounts is the x-axis of Figures 16 and 17.
+var DefaultFilterCounts = []int{1, 4, 7, 10, 13, 16}
+
+// Point is one measurement of a series.
+type Point struct {
+	Filters int
+	Median  time.Duration
+	Result  sieve.Result
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// runMedian executes the variant `runs` times and reports the median
+// elapsed time (the paper reports medians of five; the simulation is
+// deterministic, so the median equals every run — the repetitions exist to
+// prove that).
+func runMedian(v sieve.Variant, p sieve.Params, runs int) (Point, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	times := make([]time.Duration, 0, runs)
+	var last sieve.Result
+	for i := 0; i < runs; i++ {
+		res, err := sieve.Run(v, p)
+		if err != nil {
+			return Point{}, fmt.Errorf("bench: %s with %d filters: %w", v, p.Filters, err)
+		}
+		times = append(times, res.Elapsed)
+		last = res
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return Point{Filters: p.Filters, Median: times[len(times)/2], Result: last}, nil
+}
+
+// sweep runs a variant over the filter counts.
+func sweep(v sieve.Variant, name string, counts []int, runs int, params func(filters int) sieve.Params) (Series, error) {
+	s := Series{Name: name}
+	for _, f := range counts {
+		pt, err := runMedian(v, params(f), runs)
+		if err != nil {
+			return Series{}, err
+		}
+		s.Points = append(s.Points, pt)
+	}
+	return s, nil
+}
+
+// Fig16 regenerates Figure 16: hand-coded Java-style pipeline RMI versus the
+// aspect-woven version, over the filter counts.
+func Fig16(counts []int, runs int, params func(filters int) sieve.Params) ([]Series, error) {
+	hand, err := sweep(sieve.HandPipeRMI, "Java (hand-coded)", counts, runs, params)
+	if err != nil {
+		return nil, err
+	}
+	woven, err := sweep(sieve.PipeRMI, "AspectPar (woven)", counts, runs, params)
+	if err != nil {
+		return nil, err
+	}
+	return []Series{woven, hand}, nil
+}
+
+// Fig17 regenerates Figure 17: the five module combinations of Table 1 over
+// the filter counts.
+func Fig17(counts []int, runs int, params func(filters int) sieve.Params) ([]Series, error) {
+	var out []Series
+	for _, v := range sieve.Variants() {
+		s, err := sweep(v, string(v), counts, runs, params)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// PackingAblation compares FarmMPP without and with the communication
+// packing optimisation at several degrees.
+func PackingAblation(filters int, degrees []int, runs int, params func(filters int) sieve.Params) ([]Series, error) {
+	var out []Series
+	base, err := runMedian(sieve.FarmMPP, params(filters), runs)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, Series{Name: "FarmMPP (no packing)", Points: []Point{base}})
+	for _, d := range degrees {
+		p := params(filters)
+		p.PackingDegree = d
+		pt, err := runMedian(sieve.FarmMPP, p, runs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Series{Name: fmt.Sprintf("FarmMPP (packing %d:1)", d), Points: []Point{pt}})
+	}
+	return out, nil
+}
+
+// ImbalanceAblation compares the static and dynamic farms on balanced and
+// skewed pack sizes — the paper observed "only a small improvement since
+// there are not load imbalances in a normal farming strategy"; the skewed
+// workload shows where the dynamic farm pays off.
+func ImbalanceAblation(filters int, skew float64, runs int, params func(filters int) sieve.Params) ([]Series, error) {
+	var out []Series
+	for _, cfg := range []struct {
+		name string
+		v    sieve.Variant
+		skew float64
+	}{
+		{"FarmRMI balanced", sieve.FarmRMI, 0},
+		{"FarmDRMI balanced", sieve.FarmDRMI, 0},
+		{fmt.Sprintf("FarmRMI skew ×%.0f", skew), sieve.FarmRMI, skew},
+		{fmt.Sprintf("FarmDRMI skew ×%.0f", skew), sieve.FarmDRMI, skew},
+	} {
+		p := params(filters)
+		p.Skew = cfg.skew
+		pt, err := runMedian(cfg.v, p, runs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Series{Name: cfg.name, Points: []Point{pt}})
+	}
+	return out, nil
+}
+
+// Table1 renders the tested module combinations — the paper's Table 1.
+func Table1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1 - Tested module combinations\n")
+	fmt.Fprintf(&b, "%-12s | %-22s | %-11s | %s\n", "", "Partition", "Concurrency", "Distribution")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 62))
+	for _, v := range sieve.Variants() {
+		pa, co, di := sieve.Table1Row(v)
+		fmt.Fprintf(&b, "%-12s | %-22s | %-11s | %s\n", v, pa, co, di)
+	}
+	return b.String()
+}
+
+// FormatTable renders series as a text table: one row per filter count, one
+// column per series.
+func FormatTable(title string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-8s", "Filters")
+	for _, s := range series {
+		fmt.Fprintf(&b, " | %-22s", s.Name)
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintln(&b, strings.Repeat("-", 8+25*len(series)))
+	// Collect the union of filter counts, in order.
+	var counts []int
+	seen := map[int]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if !seen[p.Filters] {
+				seen[p.Filters] = true
+				counts = append(counts, p.Filters)
+			}
+		}
+	}
+	sort.Ints(counts)
+	for _, f := range counts {
+		fmt.Fprintf(&b, "%-8d", f)
+		for _, s := range series {
+			cell := ""
+			for _, p := range s.Points {
+				if p.Filters == f {
+					cell = fmt.Sprintf("%.3fs", p.Median.Seconds())
+				}
+			}
+			fmt.Fprintf(&b, " | %-22s", cell)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// FormatChart renders series as an ASCII chart (execution time vs filters),
+// echoing the shape of the paper's figures.
+func FormatChart(title string, series []Series, height int) string {
+	if height <= 0 {
+		height = 16
+	}
+	marks := "ABCDEFGHIJ"
+	var maxY float64
+	var counts []int
+	seen := map[int]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if y := p.Median.Seconds(); y > maxY {
+				maxY = y
+			}
+			if !seen[p.Filters] {
+				seen[p.Filters] = true
+				counts = append(counts, p.Filters)
+			}
+		}
+	}
+	sort.Ints(counts)
+	if maxY == 0 || len(counts) == 0 {
+		return title + "\n(no data)\n"
+	}
+	const colWidth = 6
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", colWidth*len(counts)))
+	}
+	for si, s := range series {
+		for _, p := range s.Points {
+			col := indexOf(counts, p.Filters)*colWidth + colWidth/2
+			row := int((1 - p.Median.Seconds()/maxY) * float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			if grid[row][col] == ' ' {
+				grid[row][col] = marks[si%len(marks)]
+			} else {
+				grid[row][col] = '*' // overlapping points
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r, line := range grid {
+		y := maxY * float64(height-1-r) / float64(height-1)
+		fmt.Fprintf(&b, "%7.2fs |%s\n", y, string(line))
+	}
+	fmt.Fprintf(&b, "%9s+%s\n", "", strings.Repeat("-", colWidth*len(counts)))
+	fmt.Fprintf(&b, "%9s ", "")
+	for _, f := range counts {
+		fmt.Fprintf(&b, "%-*d", colWidth, f)
+	}
+	fmt.Fprintf(&b, " filters\n")
+	for si, s := range series {
+		fmt.Fprintf(&b, "%9s %c = %s\n", "", marks[si%len(marks)], s.Name)
+	}
+	fmt.Fprintf(&b, "%9s * = overlapping points\n", "")
+	return b.String()
+}
+
+func indexOf(xs []int, x int) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return 0
+}
+
+// OverheadSummary reports the Figure 16 headline number: the maximum
+// relative overhead of the woven version over the hand-coded baseline.
+func OverheadSummary(series []Series) string {
+	if len(series) != 2 {
+		return ""
+	}
+	woven, hand := series[0], series[1]
+	worst := 0.0
+	for i := range woven.Points {
+		if i >= len(hand.Points) {
+			break
+		}
+		h := hand.Points[i].Median.Seconds()
+		w := woven.Points[i].Median.Seconds()
+		if h > 0 {
+			if gap := (w - h) / h; gap > worst {
+				worst = gap
+			}
+		}
+	}
+	return fmt.Sprintf("maximum woven-over-hand-coded overhead: %.2f%% (paper reports < 5%%)", worst*100)
+}

@@ -1,0 +1,211 @@
+// Package cluster simulates the paper's evaluation testbed and provides the
+// virtual-time backend of the exec.Context abstraction.
+//
+// A cluster is a set of machines, each with a fixed number of hardware
+// contexts (the paper's nodes: dual Xeon with Hyper-Threading = 4 contexts),
+// connected by modelled links (package simnet). Application activities are
+// discrete-event processes (package sim); compute time occupies a hardware
+// context of the activity's machine, so a machine saturates at its context
+// count — exactly why the paper's FarmThreads version "cannot take advantage
+// of more than 4 filters".
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"aspectpar/internal/exec"
+	"aspectpar/internal/sim"
+	"aspectpar/internal/simnet"
+)
+
+// Config describes a simulated cluster.
+type Config struct {
+	// Machines is the number of nodes.
+	Machines int
+	// ContextsPerMachine is the number of hardware contexts per node.
+	ContextsPerMachine int
+	// Remote is the link profile between distinct nodes.
+	Remote simnet.LinkProfile
+	// Local is the link profile for middleware traffic between co-located
+	// objects (loopback).
+	Local simnet.LinkProfile
+}
+
+// PaperTestbed returns the simulated equivalent of the paper's platform:
+// seven dedicated dual-Xeon 3.2 GHz (HT enabled) nodes — 4 hardware contexts
+// each — on switched Gigabit Ethernet. The link profile is chosen by the
+// middleware (RMI or MPP) when the distribution aspect is configured, so
+// Remote/Local here carry the wire characteristics only; middlewares replace
+// the software overheads.
+func PaperTestbed() Config {
+	return Config{
+		Machines:           7,
+		ContextsPerMachine: 4,
+		Remote:             simnet.RMIProfile(),
+		Local:              simnet.LoopbackProfile(simnet.RMIProfile()),
+	}
+}
+
+// Machine is one simulated node.
+type Machine struct {
+	id       exec.NodeID
+	contexts *sim.Resource
+}
+
+// ID returns the node identifier.
+func (m *Machine) ID() exec.NodeID { return m.id }
+
+// Contexts returns the hardware-context resource (capacity = contexts).
+func (m *Machine) Contexts() *sim.Resource { return m.contexts }
+
+// Cluster is a simulated set of machines sharing one event engine.
+type Cluster struct {
+	eng      *sim.Engine
+	cfg      Config
+	machines []*Machine
+}
+
+// New builds a cluster on the given engine.
+func New(eng *sim.Engine, cfg Config) *Cluster {
+	if cfg.Machines <= 0 || cfg.ContextsPerMachine <= 0 {
+		panic(fmt.Sprintf("cluster: invalid config %+v", cfg))
+	}
+	c := &Cluster{eng: eng, cfg: cfg}
+	for i := 0; i < cfg.Machines; i++ {
+		c.machines = append(c.machines, &Machine{
+			id:       exec.NodeID(i),
+			contexts: eng.NewResource(cfg.ContextsPerMachine),
+		})
+	}
+	return c
+}
+
+// Engine returns the underlying event engine.
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Size returns the number of machines.
+func (c *Cluster) Size() int { return len(c.machines) }
+
+// Machine returns node id's machine; it panics on an unknown node, which
+// always indicates a placement bug.
+func (c *Cluster) Machine(id exec.NodeID) *Machine {
+	if int(id) < 0 || int(id) >= len(c.machines) {
+		panic(fmt.Sprintf("cluster: no machine %d (have %d)", id, len(c.machines)))
+	}
+	return c.machines[id]
+}
+
+// Link returns the link profile between two nodes.
+func (c *Cluster) Link(from, to exec.NodeID) simnet.LinkProfile {
+	if from == to {
+		return c.cfg.Local
+	}
+	return c.cfg.Remote
+}
+
+// Run spawns main as an activity on node 0 and executes the simulation to
+// completion, returning the engine error (panic or deadlock) if any.
+func (c *Cluster) Run(main func(exec.Context)) error {
+	c.eng.Spawn("main", func(p *sim.Proc) {
+		main(&simCtx{cluster: c, p: p, node: 0})
+	})
+	return c.eng.Run()
+}
+
+// Elapsed returns the virtual time consumed so far.
+func (c *Cluster) Elapsed() time.Duration { return c.eng.Now() }
+
+// --- exec.Context implementation -----------------------------------------
+
+// simCtx binds one simulated process to a node of the cluster.
+type simCtx struct {
+	cluster *Cluster
+	p       *sim.Proc
+	node    exec.NodeID
+}
+
+var _ exec.Context = (*simCtx)(nil)
+
+func (x *simCtx) Spawn(name string, fn func(exec.Context)) {
+	x.SpawnOn(x.node, name, fn)
+}
+
+func (x *simCtx) SpawnOn(node exec.NodeID, name string, fn func(exec.Context)) {
+	x.cluster.Machine(node) // validate now, in the caller's frame
+	x.cluster.eng.Spawn(name, func(p *sim.Proc) {
+		fn(&simCtx{cluster: x.cluster, p: p, node: node})
+	})
+}
+
+func (x *simCtx) SpawnDaemonOn(node exec.NodeID, name string, fn func(exec.Context)) {
+	x.cluster.Machine(node)
+	x.cluster.eng.SpawnDaemon(name, func(p *sim.Proc) {
+		fn(&simCtx{cluster: x.cluster, p: p, node: node})
+	})
+}
+
+// Compute occupies one hardware context of the current node for d.
+func (x *simCtx) Compute(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	m := x.cluster.Machine(x.node)
+	m.contexts.Use(x.p, 1, func() { x.p.Sleep(d) })
+}
+
+func (x *simCtx) Sleep(d time.Duration) { x.p.Sleep(d) }
+
+func (x *simCtx) Now() time.Duration { return x.p.Now() }
+
+func (x *simCtx) Node() exec.NodeID { return x.node }
+
+func (x *simCtx) OnNode(node exec.NodeID) exec.Context {
+	x.cluster.Machine(node)
+	return &simCtx{cluster: x.cluster, p: x.p, node: node}
+}
+
+func (x *simCtx) NewMutex() exec.Mutex { return &simMutex{mu: x.cluster.eng.NewMutex()} }
+
+func (x *simCtx) NewWaitGroup() exec.WaitGroup {
+	return &simWaitGroup{wg: x.cluster.eng.NewWaitGroup()}
+}
+
+func (x *simCtx) NewChan(capacity int) exec.Chan {
+	return &simChan{ch: x.cluster.eng.NewChan(capacity)}
+}
+
+// proc extracts the simulated process from an exec.Context handed back to a
+// synchronisation primitive. Mixing contexts from different backends is a
+// programming error and panics with a clear message.
+func proc(ctx exec.Context) *sim.Proc {
+	x, ok := ctx.(*simCtx)
+	if !ok {
+		panic(fmt.Sprintf("cluster: context %T is not a simulation context", ctx))
+	}
+	return x.p
+}
+
+type simMutex struct{ mu *sim.Mutex }
+
+func (m *simMutex) Lock(ctx exec.Context)   { m.mu.Lock(proc(ctx)) }
+func (m *simMutex) Unlock(ctx exec.Context) { m.mu.Unlock(proc(ctx)) }
+
+type simWaitGroup struct{ wg *sim.WaitGroup }
+
+func (w *simWaitGroup) Add(n int)             { w.wg.Add(n) }
+func (w *simWaitGroup) Done()                 { w.wg.Done() }
+func (w *simWaitGroup) Wait(ctx exec.Context) { w.wg.Wait(proc(ctx)) }
+
+type simChan struct{ ch *sim.Chan }
+
+func (c *simChan) Send(ctx exec.Context, v any) { c.ch.Send(proc(ctx), v) }
+func (c *simChan) Recv(ctx exec.Context) (any, bool) {
+	return c.ch.Recv(proc(ctx))
+}
+func (c *simChan) TryRecv(exec.Context) (any, bool) { return c.ch.TryRecv() }
+func (c *simChan) Close()                           { c.ch.Close() }
+func (c *simChan) Len() int                         { return c.ch.Len() }

@@ -1,0 +1,95 @@
+// Package exec abstracts the execution substrate the parallelisation aspects
+// run on. The same woven application code runs under two backends:
+//
+//   - the real backend ([Real]): goroutines, sync primitives and the wall
+//     clock — used by the test suite and the runnable examples;
+//   - the simulated backend (package internal/cluster): a deterministic
+//     discrete-event cluster with virtual time — used by the paper's
+//     experiments, because the original testbed (7 dual-Xeon nodes on
+//     Gigabit Ethernet) is not available.
+//
+// Aspects receive a [Context] through the joinpoint and use it for spawning
+// concurrent activities, sleeping, charging compute time and building
+// synchronisation objects. Under the real backend Compute is free (the work
+// itself is real); under the simulation it advances the virtual clock while
+// holding one of the node's hardware contexts.
+package exec
+
+import "time"
+
+// NodeID identifies a machine of the (possibly simulated) cluster. The real
+// backend runs everything on node 0.
+type NodeID int
+
+// Context is the execution substrate handle threaded through joinpoints.
+// Implementations must be safe for concurrent use; the per-activity state
+// (which simulated process is running) is carried by the Context value
+// itself, so each spawned activity receives its own Context.
+type Context interface {
+	// Spawn starts a new concurrent activity on the current node. The
+	// activity receives a derived Context. Spawn returns immediately.
+	Spawn(name string, fn func(Context))
+	// SpawnOn starts an activity on another node of the cluster. The real
+	// backend has a single node and runs it locally.
+	SpawnOn(node NodeID, name string, fn func(Context))
+	// SpawnDaemonOn starts a daemon activity on a node: a server loop that
+	// may stay blocked forever without counting as a hung program
+	// (middleware receive loops use this).
+	SpawnDaemonOn(node NodeID, name string, fn func(Context))
+	// Compute charges d of CPU time on the current node. The simulated
+	// backend occupies one hardware context of the node's machine for the
+	// duration; the real backend returns immediately (real work is real).
+	Compute(d time.Duration)
+	// Sleep suspends the activity for d.
+	Sleep(d time.Duration)
+	// Now returns the time elapsed since the start of the run (virtual
+	// under simulation, wall-clock under the real backend).
+	Now() time.Duration
+	// Node returns the node this activity executes on.
+	Node() NodeID
+	// OnNode returns a Context that charges compute and spawns on the given
+	// node while sharing the same underlying activity. It models executing
+	// code "at" another machine (the server side of a remote call).
+	OnNode(node NodeID) Context
+	// NewMutex creates a mutual-exclusion lock usable by any activity of
+	// this run.
+	NewMutex() Mutex
+	// NewWaitGroup creates a completion counter usable by any activity.
+	NewWaitGroup() WaitGroup
+	// NewChan creates a message queue with the given buffer capacity
+	// (0 = rendezvous).
+	NewChan(capacity int) Chan
+}
+
+// Mutex is a lock. Lock and Unlock take the calling Context because the
+// simulated backend must know which process is blocking.
+type Mutex interface {
+	Lock(ctx Context)
+	Unlock(ctx Context)
+}
+
+// WaitGroup counts outstanding activities. Semantics follow sync.WaitGroup.
+type WaitGroup interface {
+	Add(n int)
+	Done()
+	Wait(ctx Context)
+}
+
+// Chan is a FIFO message queue between activities.
+type Chan interface {
+	// Send enqueues v, blocking while the buffer is full (or until a
+	// receiver arrives, for capacity 0). Sending on a closed channel panics.
+	Send(ctx Context, v any)
+	// Recv dequeues the next value; ok is false when the channel is closed
+	// and drained.
+	Recv(ctx Context) (v any, ok bool)
+	// TryRecv dequeues without blocking; ok is false when nothing is
+	// immediately available (buffer empty) or the channel is closed and
+	// drained.
+	TryRecv(ctx Context) (v any, ok bool)
+	// Close marks the channel closed; further Sends panic, pending and
+	// future Recvs drain the buffer then report !ok.
+	Close()
+	// Len reports the number of buffered values.
+	Len() int
+}

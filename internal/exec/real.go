@@ -1,0 +1,87 @@
+package exec
+
+import (
+	"sync"
+	"time"
+)
+
+// Real returns a Context backed by goroutines and the wall clock. All
+// activities run on node 0. Compute is a no-op (the computation itself is
+// real); Sleep maps to time.Sleep.
+func Real() Context {
+	return &realCtx{start: time.Now()}
+}
+
+type realCtx struct {
+	start time.Time
+	node  NodeID
+}
+
+func (c *realCtx) Spawn(name string, fn func(Context)) {
+	child := &realCtx{start: c.start, node: c.node}
+	go fn(child)
+}
+
+func (c *realCtx) SpawnOn(node NodeID, name string, fn func(Context)) {
+	// One real machine: the node identity is carried but execution is local.
+	child := &realCtx{start: c.start, node: node}
+	go fn(child)
+}
+
+func (c *realCtx) SpawnDaemonOn(node NodeID, name string, fn func(Context)) {
+	// Goroutines are daemons by nature: nothing waits for them.
+	c.SpawnOn(node, name, fn)
+}
+
+func (c *realCtx) Compute(d time.Duration) {}
+
+func (c *realCtx) Sleep(d time.Duration) { time.Sleep(d) }
+
+func (c *realCtx) Now() time.Duration { return time.Since(c.start) }
+
+func (c *realCtx) Node() NodeID { return c.node }
+
+func (c *realCtx) OnNode(node NodeID) Context {
+	return &realCtx{start: c.start, node: node}
+}
+
+func (c *realCtx) NewMutex() Mutex { return &realMutex{} }
+
+func (c *realCtx) NewWaitGroup() WaitGroup { return &realWaitGroup{} }
+
+func (c *realCtx) NewChan(capacity int) Chan {
+	return &realChan{ch: make(chan any, capacity)}
+}
+
+type realMutex struct{ mu sync.Mutex }
+
+func (m *realMutex) Lock(Context)   { m.mu.Lock() }
+func (m *realMutex) Unlock(Context) { m.mu.Unlock() }
+
+type realWaitGroup struct{ wg sync.WaitGroup }
+
+func (w *realWaitGroup) Add(n int)    { w.wg.Add(n) }
+func (w *realWaitGroup) Done()        { w.wg.Done() }
+func (w *realWaitGroup) Wait(Context) { w.wg.Wait() }
+
+type realChan struct{ ch chan any }
+
+func (c *realChan) Send(_ Context, v any) { c.ch <- v }
+
+func (c *realChan) Recv(Context) (any, bool) {
+	v, ok := <-c.ch
+	return v, ok
+}
+
+func (c *realChan) TryRecv(Context) (any, bool) {
+	select {
+	case v, ok := <-c.ch:
+		return v, ok
+	default:
+		return nil, false
+	}
+}
+
+func (c *realChan) Close() { close(c.ch) }
+
+func (c *realChan) Len() int { return len(c.ch) }

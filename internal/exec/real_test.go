@@ -1,0 +1,106 @@
+package exec
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRealSpawnRuns(t *testing.T) {
+	ctx := Real()
+	done := make(chan struct{})
+	ctx.Spawn("child", func(c Context) {
+		if c.Node() != 0 {
+			t.Errorf("child node = %d", c.Node())
+		}
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("child never ran")
+	}
+}
+
+func TestRealSpawnOnCarriesNodeIdentity(t *testing.T) {
+	ctx := Real()
+	done := make(chan NodeID, 2)
+	ctx.SpawnOn(3, "a", func(c Context) { done <- c.Node() })
+	ctx.SpawnDaemonOn(5, "b", func(c Context) { done <- c.Node() })
+	got := map[NodeID]bool{<-done: true, <-done: true}
+	if !got[3] || !got[5] {
+		t.Errorf("nodes = %v", got)
+	}
+}
+
+func TestRealOnNode(t *testing.T) {
+	ctx := Real()
+	r := ctx.OnNode(4)
+	if r.Node() != 4 {
+		t.Errorf("Node = %d", r.Node())
+	}
+	// Compute is free on the real backend.
+	start := time.Now()
+	r.Compute(time.Hour)
+	if time.Since(start) > time.Second {
+		t.Error("Compute should not block the real backend")
+	}
+}
+
+func TestRealNowAdvances(t *testing.T) {
+	ctx := Real()
+	t0 := ctx.Now()
+	ctx.Sleep(5 * time.Millisecond)
+	if ctx.Now() <= t0 {
+		t.Error("Now should advance with the wall clock")
+	}
+}
+
+func TestRealMutex(t *testing.T) {
+	ctx := Real()
+	mu := ctx.NewMutex()
+	var inside atomic.Int32
+	var peak atomic.Int32
+	wg := ctx.NewWaitGroup()
+	wg.Add(8)
+	for i := 0; i < 8; i++ {
+		ctx.Spawn("w", func(c Context) {
+			defer wg.Done()
+			mu.Lock(c)
+			n := inside.Add(1)
+			if n > peak.Load() {
+				peak.Store(n)
+			}
+			time.Sleep(time.Millisecond)
+			inside.Add(-1)
+			mu.Unlock(c)
+		})
+	}
+	wg.Wait(ctx)
+	if peak.Load() != 1 {
+		t.Errorf("peak = %d, want 1", peak.Load())
+	}
+}
+
+func TestRealChan(t *testing.T) {
+	ctx := Real()
+	ch := ctx.NewChan(2)
+	ch.Send(ctx, 1)
+	ch.Send(ctx, 2)
+	if ch.Len() != 2 {
+		t.Errorf("Len = %d", ch.Len())
+	}
+	if v, ok := ch.TryRecv(ctx); !ok || v != 1 {
+		t.Errorf("TryRecv = %v, %v", v, ok)
+	}
+	if v, ok := ch.Recv(ctx); !ok || v != 2 {
+		t.Errorf("Recv = %v, %v", v, ok)
+	}
+	if _, ok := ch.TryRecv(ctx); ok {
+		t.Error("TryRecv on empty chan should be !ok")
+	}
+	ch.Close()
+	if _, ok := ch.Recv(ctx); ok {
+		t.Error("Recv on closed chan should be !ok")
+	}
+}

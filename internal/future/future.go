@@ -1,0 +1,151 @@
+// Package future implements futures with wait-by-necessity — the
+// concurrency mechanism of ABCL the paper's related work builds on: an
+// asynchronous method invocation that must produce a value hands the client
+// a future; the client blocks only when (and if) it touches the value.
+package future
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrCancelled is returned by Get when the future's context was cancelled
+// before a value arrived.
+var ErrCancelled = errors.New("future: cancelled")
+
+// Future is a write-once container for a value of type T that may not have
+// been computed yet. The zero value is not usable; create with New or Go.
+type Future[T any] struct {
+	done chan struct{}
+	once sync.Once
+	val  T
+	err  error
+}
+
+// New returns an unresolved future and the function that resolves it.
+// Resolving twice is a no-op (first write wins), matching a future's
+// write-once semantics.
+func New[T any]() (*Future[T], func(T, error)) {
+	f := &Future[T]{done: make(chan struct{})}
+	return f, f.resolve
+}
+
+func (f *Future[T]) resolve(v T, err error) {
+	f.once.Do(func() {
+		f.val, f.err = v, err
+		close(f.done)
+	})
+}
+
+// Go runs fn in a new goroutine and returns the future of its result.
+func Go[T any](fn func() (T, error)) *Future[T] {
+	f, resolve := New[T]()
+	go func() {
+		resolve(fn())
+	}()
+	return f
+}
+
+// Resolved returns an already-resolved future; useful for caches and tests.
+func Resolved[T any](v T, err error) *Future[T] {
+	f, resolve := New[T]()
+	resolve(v, err)
+	return f
+}
+
+// Get blocks until the value is available — wait-by-necessity — and returns
+// it. Get may be called any number of times from any goroutine.
+func (f *Future[T]) Get() (T, error) {
+	<-f.done
+	return f.val, f.err
+}
+
+// GetCtx is Get with cancellation: it returns ErrCancelled (wrapped with the
+// context cause) if ctx ends first.
+func (f *Future[T]) GetCtx(ctx context.Context) (T, error) {
+	select {
+	case <-f.done:
+		return f.val, f.err
+	case <-ctx.Done():
+		var zero T
+		return zero, errors.Join(ErrCancelled, ctx.Err())
+	}
+}
+
+// TryGet returns the value if already resolved; ok reports availability.
+func (f *Future[T]) TryGet() (v T, err error, ok bool) {
+	select {
+	case <-f.done:
+		return f.val, f.err, true
+	default:
+		var zero T
+		return zero, nil, false
+	}
+}
+
+// Done returns a channel closed when the future resolves; it composes with
+// select loops.
+func (f *Future[T]) Done() <-chan struct{} { return f.done }
+
+// Then chains a transformation: it returns a future resolving to fn applied
+// to this future's value, or propagating this future's error unchanged.
+func Then[T, U any](f *Future[T], fn func(T) (U, error)) *Future[U] {
+	return Go(func() (U, error) {
+		v, err := f.Get()
+		if err != nil {
+			var zero U
+			return zero, err
+		}
+		return fn(v)
+	})
+}
+
+// All waits for every future and returns the values in order; the first
+// error (by argument order) wins.
+func All[T any](fs ...*Future[T]) ([]T, error) {
+	out := make([]T, len(fs))
+	var firstErr error
+	for i, f := range fs {
+		v, err := f.Get()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		out[i] = v
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Any returns the value of the first future to resolve successfully; if all
+// fail it returns the last error observed.
+func Any[T any](fs ...*Future[T]) (T, error) {
+	if len(fs) == 0 {
+		var zero T
+		return zero, errors.New("future: Any of nothing")
+	}
+	type outcome struct {
+		v   T
+		err error
+	}
+	ch := make(chan outcome, len(fs))
+	for _, f := range fs {
+		f := f
+		go func() {
+			v, err := f.Get()
+			ch <- outcome{v, err}
+		}()
+	}
+	var lastErr error
+	for range fs {
+		o := <-ch
+		if o.err == nil {
+			return o.v, nil
+		}
+		lastErr = o.err
+	}
+	var zero T
+	return zero, lastErr
+}

@@ -1,0 +1,164 @@
+package future
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGetBlocksUntilResolved(t *testing.T) {
+	f, resolve := New[int]()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		resolve(42, nil)
+	}()
+	v, err := f.Get()
+	if err != nil || v != 42 {
+		t.Errorf("Get = %d, %v", v, err)
+	}
+	// Repeated Get returns the same value.
+	v, _ = f.Get()
+	if v != 42 {
+		t.Errorf("second Get = %d", v)
+	}
+}
+
+func TestFirstResolveWins(t *testing.T) {
+	f, resolve := New[string]()
+	resolve("first", nil)
+	resolve("second", nil)
+	v, _ := f.Get()
+	if v != "first" {
+		t.Errorf("Get = %q", v)
+	}
+}
+
+func TestGo(t *testing.T) {
+	f := Go(func() (int, error) { return 7, nil })
+	if v, err := f.Get(); v != 7 || err != nil {
+		t.Errorf("Get = %d, %v", v, err)
+	}
+	boom := errors.New("boom")
+	fe := Go(func() (int, error) { return 0, boom })
+	if _, err := fe.Get(); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestResolvedAndTryGet(t *testing.T) {
+	f := Resolved(3, nil)
+	if v, err, ok := f.TryGet(); !ok || v != 3 || err != nil {
+		t.Errorf("TryGet = %d, %v, %v", v, err, ok)
+	}
+	g, _ := New[int]()
+	if _, _, ok := g.TryGet(); ok {
+		t.Error("TryGet on unresolved future should be !ok")
+	}
+}
+
+func TestGetCtxCancellation(t *testing.T) {
+	f, _ := New[int]()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.GetCtx(ctx); !errors.Is(err, ErrCancelled) {
+		t.Errorf("err = %v", err)
+	}
+	g := Resolved(5, nil)
+	if v, err := g.GetCtx(context.Background()); v != 5 || err != nil {
+		t.Errorf("GetCtx = %d, %v", v, err)
+	}
+}
+
+func TestDoneChannel(t *testing.T) {
+	f, resolve := New[int]()
+	select {
+	case <-f.Done():
+		t.Fatal("Done closed before resolve")
+	default:
+	}
+	resolve(1, nil)
+	select {
+	case <-f.Done():
+	case <-time.After(time.Second):
+		t.Fatal("Done not closed after resolve")
+	}
+}
+
+func TestThen(t *testing.T) {
+	f := Go(func() (int, error) { return 6, nil })
+	g := Then(f, func(v int) (string, error) { return fmt.Sprint(v * 7), nil })
+	if s, err := g.Get(); s != "42" || err != nil {
+		t.Errorf("Then = %q, %v", s, err)
+	}
+	boom := errors.New("boom")
+	h := Then(Go(func() (int, error) { return 0, boom }), func(int) (string, error) {
+		t.Error("Then fn must not run on error")
+		return "", nil
+	})
+	if _, err := h.Get(); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAll(t *testing.T) {
+	fs := make([]*Future[int], 5)
+	for i := range fs {
+		i := i
+		fs[i] = Go(func() (int, error) { return i * i, nil })
+	}
+	vals, err := All(fs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(vals) != "[0 1 4 9 16]" {
+		t.Errorf("All = %v", vals)
+	}
+	boom := errors.New("boom")
+	fs[2] = Resolved(0, boom)
+	if _, err := All(fs...); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAny(t *testing.T) {
+	slow := Go(func() (int, error) {
+		time.Sleep(50 * time.Millisecond)
+		return 1, nil
+	})
+	fast := Resolved(2, nil)
+	v, err := Any(slow, fast)
+	if err != nil || v != 2 {
+		t.Errorf("Any = %d, %v", v, err)
+	}
+	boom := errors.New("boom")
+	if _, err := Any[int](Resolved(0, boom)); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := Any[int](); err == nil {
+		t.Error("Any() should fail")
+	}
+}
+
+func TestConcurrentGetters(t *testing.T) {
+	f, resolve := New[int]()
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if v, err := f.Get(); v != 9 || err != nil {
+				errs <- fmt.Errorf("got %d, %v", v, err)
+			}
+		}()
+	}
+	resolve(9, nil)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

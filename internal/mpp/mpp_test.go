@@ -1,0 +1,284 @@
+package mpp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointToPointFIFO(t *testing.T) {
+	w := NewWorld(2, 8)
+	defer w.Close()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c := w.Comm(0)
+		for i := 0; i < 20; i++ {
+			if err := c.Send(1, 0, i); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		}
+	}()
+	var got []int
+	go func() {
+		defer wg.Done()
+		c := w.Comm(1)
+		for i := 0; i < 20; i++ {
+			m, err := c.Recv(0, 0)
+			if err != nil {
+				t.Errorf("recv: %v", err)
+				return
+			}
+			got = append(got, m.Data.(int))
+		}
+	}()
+	wg.Wait()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO broken: %v", got)
+		}
+	}
+}
+
+func TestTagMatchingQueuesUnexpected(t *testing.T) {
+	w := NewWorld(2, 8)
+	defer w.Close()
+	send := w.Comm(0)
+	recv := w.Comm(1)
+	_ = send.Send(1, 7, "seven")
+	_ = send.Send(1, 9, "nine")
+	m, err := recv.Recv(0, 9) // out of order: tag 7 must be queued
+	if err != nil || m.Data != "nine" {
+		t.Fatalf("Recv(9) = %v, %v", m, err)
+	}
+	m, err = recv.Recv(0, 7)
+	if err != nil || m.Data != "seven" {
+		t.Fatalf("Recv(7) = %v, %v", m, err)
+	}
+	if m.Source != 0 {
+		t.Errorf("Source = %d", m.Source)
+	}
+}
+
+func TestBarrierSynchronises(t *testing.T) {
+	const n = 4
+	w := NewWorld(n, 1)
+	defer w.Close()
+	var mu sync.Mutex
+	phase1 := 0
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := w.Comm(rank)
+			mu.Lock()
+			phase1++
+			mu.Unlock()
+			if err := c.Barrier(); err != nil {
+				t.Errorf("barrier: %v", err)
+				return
+			}
+			mu.Lock()
+			if phase1 != n {
+				t.Errorf("rank %d passed barrier with %d arrivals", rank, phase1)
+			}
+			mu.Unlock()
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestBcast(t *testing.T) {
+	const n = 3
+	w := NewWorld(n, 2)
+	defer w.Close()
+	var wg sync.WaitGroup
+	got := make([]any, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := w.Comm(rank)
+			var in any
+			if rank == 1 {
+				in = "payload"
+			}
+			v, err := c.Bcast(1, in)
+			if err != nil {
+				t.Errorf("bcast: %v", err)
+				return
+			}
+			got[rank] = v
+		}(r)
+	}
+	wg.Wait()
+	for r, v := range got {
+		if v != "payload" {
+			t.Errorf("rank %d got %v", r, v)
+		}
+	}
+}
+
+func TestReduce(t *testing.T) {
+	const n = 5
+	w := NewWorld(n, 2)
+	defer w.Close()
+	var wg sync.WaitGroup
+	var rootSum int64
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := w.Comm(rank)
+			sum, err := c.Reduce(0, int64(rank+1), func(a, b int64) int64 { return a + b })
+			if err != nil {
+				t.Errorf("reduce: %v", err)
+				return
+			}
+			if rank == 0 {
+				rootSum = sum
+			}
+		}(r)
+	}
+	wg.Wait()
+	if rootSum != 15 {
+		t.Errorf("sum = %d, want 15", rootSum)
+	}
+}
+
+func TestGather(t *testing.T) {
+	const n = 4
+	w := NewWorld(n, 2)
+	defer w.Close()
+	var wg sync.WaitGroup
+	var gathered []any
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := w.Comm(rank)
+			out, err := c.Gather(2, rank*10)
+			if err != nil {
+				t.Errorf("gather: %v", err)
+				return
+			}
+			if rank == 2 {
+				gathered = out
+			}
+		}(r)
+	}
+	wg.Wait()
+	if fmt.Sprint(gathered) != "[0 10 20 30]" {
+		t.Errorf("gathered = %v", gathered)
+	}
+}
+
+func TestClosedWorld(t *testing.T) {
+	w := NewWorld(2, 1)
+	c := w.Comm(0)
+	w.Close()
+	w.Close() // idempotent
+	if err := c.Send(1, 0, "x"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send = %v", err)
+	}
+	if err := c.Barrier(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Barrier = %v", err)
+	}
+	if _, err := w.Comm(1).Recv(0, 0); !errors.Is(err, ErrClosed) {
+		t.Errorf("Recv = %v", err)
+	}
+}
+
+func TestRankValidation(t *testing.T) {
+	w := NewWorld(2, 1)
+	defer w.Close()
+	c := w.Comm(0)
+	if err := c.Send(5, 0, nil); err == nil {
+		t.Error("send to bad rank should fail")
+	}
+	if _, err := c.Recv(-1, 0); err == nil {
+		t.Error("recv from bad rank should fail")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Comm(9) should panic")
+			}
+		}()
+		w.Comm(9)
+	}()
+	if c.Rank() != 0 || c.Size() != 2 {
+		t.Errorf("Rank/Size = %d/%d", c.Rank(), c.Size())
+	}
+}
+
+func TestInvalidWorldPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewWorld(0, 1) },
+		func() { NewWorld(1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid world should panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: a ring pass of any token list around any world size delivers
+// every token back to rank 0 unchanged.
+func TestRingProperty(t *testing.T) {
+	f := func(sizeRaw uint8, tokens []int32) bool {
+		size := int(sizeRaw%4) + 2
+		if len(tokens) > 16 {
+			tokens = tokens[:16]
+		}
+		w := NewWorld(size, len(tokens)+1)
+		defer w.Close()
+		var wg sync.WaitGroup
+		ok := true
+		for r := 0; r < size; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				c := w.Comm(rank)
+				next, prev := (rank+1)%size, (rank+size-1)%size
+				if rank == 0 {
+					for _, tok := range tokens {
+						if c.Send(next, 1, tok) != nil {
+							ok = false
+							return
+						}
+					}
+					for _, tok := range tokens {
+						m, err := c.Recv(prev, 1)
+						if err != nil || m.Data.(int32) != tok {
+							ok = false
+							return
+						}
+					}
+					return
+				}
+				for range tokens {
+					m, err := c.Recv(prev, 1)
+					if err != nil || c.Send(next, 1, m.Data) != nil {
+						ok = false
+						return
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

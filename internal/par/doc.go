@@ -1,0 +1,39 @@
+// Package par implements the paper's methodology: parallelisation concerns
+// as pluggable aspect modules over sequential object-oriented core
+// functionality.
+//
+// The four concern categories map to module families:
+//
+//   - Partition ([Pipeline], [Farm], [DynamicFarm], [Heartbeat]): object
+//     duplication (one core object becomes an aspect-managed set),
+//     method-call split (one call becomes several that can run in parallel)
+//     and call forwarding (pipeline propagation). These are the reusable
+//     "abstract aspects" of the paper's Figure 9, parameterised by functions
+//     instead of abstract pointcuts.
+//   - Concurrency ([Concurrency]): asynchronous method invocation (a new
+//     activity per call, the paper's "new Thread") and synchronisation
+//     (per-object mutual exclusion), plus quiescence for joining.
+//   - Distribution ([Distribution]): placement of aspect-managed objects on
+//     cluster nodes and transparent redirection of calls through a
+//     [Middleware] — simulated Java RMI ([NewSimRMI]) or the lighter MPP
+//     message-passing package ([NewSimMPP]).
+//   - Optimisation ([ThreadPool], [Caching], [Packing]): independently
+//     pluggable performance aspects.
+//
+// Core classes register with a [Domain] as a [Class]: a constructor, a method
+// table, and woven call sites ([Class.New], [Class.Call]) that route through
+// the domain's weaver. Aspect modules are plugged into a [Stack]; unplugging
+// every module runs the unchanged sequential code.
+//
+// Advice ordering (outermost first) is fixed by module precedence:
+//
+//	partition split/duplicate (40) > thread pool (35) > concurrency async (30)
+//	> distribution (20) > concurrency sync (10) > partition forward (8)
+//	> metering (5) > method body
+//
+// so a call from core functionality is split by the partition module, each
+// piece spawns an activity, the activity ships the call to the object's node,
+// the server serialises per-object access, pipeline forwarding happens where
+// the object lives, and the metering module (the simulation's cost account)
+// charges the computation to that node's hardware contexts.
+package par

@@ -1,0 +1,387 @@
+package par
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"aspectpar/internal/cluster"
+	"aspectpar/internal/exec"
+	"aspectpar/internal/simnet"
+)
+
+// Middleware is the distribution substrate interface the Distribution module
+// programs against. The paper's point is precisely that swapping RMI for MPP
+// (or a hybrid) is a one-line change in the distribution aspect; this
+// interface is that seam.
+type Middleware interface {
+	// MiddlewareName identifies the implementation ("rmi", "mpp", ...).
+	MiddlewareName() string
+	// ExportNew creates an object remotely: it models the creation protocol
+	// (control message to the node, running build there, reply), registers
+	// the object at the node, and returns it. name follows the paper's
+	// "PS<n>" naming.
+	ExportNew(ctx exec.Context, name string, node exec.NodeID, class *Class,
+		build func(rctx exec.Context) (any, error)) (any, error)
+	// NodeOf reports the placement of an exported object.
+	NodeOf(obj any) (exec.NodeID, bool)
+	// Invoke performs a remote method invocation on an exported object.
+	// void indicates the caller discards the results, so the reply can be
+	// a bare acknowledgement.
+	Invoke(ctx exec.Context, obj any, method string, args []any, void bool) ([]any, error)
+	// Stats returns the accumulated traffic counters.
+	Stats() CommStats
+}
+
+// CommStats counts middleware traffic for the experiment reports.
+type CommStats struct {
+	// Messages is the number of network messages (requests and replies).
+	Messages int64
+	// Bytes is the total payload volume.
+	Bytes int64
+}
+
+type exportEntry struct {
+	name  string
+	node  exec.NodeID
+	class *Class
+	inbox exec.Chan // MPP only
+}
+
+// registry is the export table shared by the middleware implementations; it
+// plays the paper's name-server role.
+type registry struct {
+	mu   sync.Mutex
+	objs map[any]*exportEntry
+}
+
+func newRegistry() *registry { return &registry{objs: make(map[any]*exportEntry)} }
+
+func (r *registry) add(obj any, e *exportEntry) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.objs[obj]; dup {
+		return fmt.Errorf("par: object %q exported twice", e.name)
+	}
+	r.objs[obj] = e
+	return nil
+}
+
+func (r *registry) lookup(obj any) (*exportEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.objs[obj]
+	return e, ok
+}
+
+// statsBox accumulates CommStats under a lock.
+type statsBox struct {
+	mu sync.Mutex
+	s  CommStats
+}
+
+func (b *statsBox) count(messages, bytes int64) {
+	b.mu.Lock()
+	b.s.Messages += messages
+	b.s.Bytes += bytes
+	b.mu.Unlock()
+}
+
+func (b *statsBox) get() CommStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.s
+}
+
+// --- Simulated Java RMI ----------------------------------------------------
+
+// simRMI models Java RMI on the simulated cluster: synchronous
+// request/reply, heavy per-call software overhead, object serialisation
+// costs on both sides. The woven server side re-enters the domain weaver
+// (Class.Dispatch), exactly like an RMI skeleton invoking the woven method.
+type simRMI struct {
+	cl            *cluster.Cluster
+	sizer         simnet.Sizer
+	remote, local simnet.LinkProfile
+	reg           *registry
+	stats         statsBox
+}
+
+// NewSimRMI returns an RMI middleware over the simulated cluster.
+func NewSimRMI(cl *cluster.Cluster) Middleware {
+	p := simnet.RMIProfile()
+	return &simRMI{
+		cl:     cl,
+		sizer:  simnet.GobSizer{},
+		remote: p,
+		local:  simnet.LoopbackProfile(p),
+		reg:    newRegistry(),
+	}
+}
+
+func (m *simRMI) MiddlewareName() string { return "rmi" }
+
+func (m *simRMI) Stats() CommStats { return m.stats.get() }
+
+func (m *simRMI) link(from, to exec.NodeID) simnet.LinkProfile {
+	if from == to {
+		return m.local
+	}
+	return m.remote
+}
+
+// oneWay models the transfer of one message: sender-side CPU, wire, and
+// receiver-side CPU charged to rctx's node.
+func (m *simRMI) oneWay(ctx, rctx exec.Context, link simnet.LinkProfile, size int) {
+	ctx.Compute(link.SendCPU(size))
+	ctx.Sleep(link.WireTime(size))
+	rctx.Compute(link.RecvCPU(size))
+	m.stats.count(1, int64(size))
+}
+
+func (m *simRMI) ExportNew(ctx exec.Context, name string, node exec.NodeID, class *Class,
+	build func(rctx exec.Context) (any, error)) (any, error) {
+	rctx := ctx.OnNode(node)
+	link := m.link(ctx.Node(), node)
+	// Creation protocol: contact the remote JVM and the name server, build
+	// there, receive the remote reference back.
+	m.oneWay(ctx, rctx, link, 64)
+	obj, err := build(rctx)
+	if err != nil {
+		return nil, err
+	}
+	m.oneWay(rctx, ctx, link, 64)
+	if err := m.reg.add(obj, &exportEntry{name: name, node: node, class: class}); err != nil {
+		return nil, err
+	}
+	return obj, nil
+}
+
+func (m *simRMI) NodeOf(obj any) (exec.NodeID, bool) {
+	e, ok := m.reg.lookup(obj)
+	if !ok {
+		return 0, false
+	}
+	return e.node, true
+}
+
+func (m *simRMI) Invoke(ctx exec.Context, obj any, method string, args []any, void bool) ([]any, error) {
+	e, ok := m.reg.lookup(obj)
+	if !ok {
+		return nil, fmt.Errorf("par: rmi invoke on unexported object (%s)", method)
+	}
+	link := m.link(ctx.Node(), e.node)
+	rctx := ctx.OnNode(e.node)
+
+	// Request: marshal, wire, unmarshal, dispatch through the woven server.
+	m.oneWay(ctx, rctx, link, m.sizer.Size(args))
+	res, err := e.class.Dispatch(rctx, obj, method, args)
+	// Reply: RMI is synchronous even for void methods, but a void call
+	// ships only an acknowledgement.
+	replySize := 16 // protocol floor: headers, status
+	if !void {
+		if s := m.sizer.Size(res); s > replySize {
+			replySize = s
+		}
+	}
+	m.oneWay(rctx, ctx, link, replySize)
+	return res, err
+}
+
+// --- Simulated MPP (message passing) ---------------------------------------
+
+// simMPP models the paper's Java MPP library (nio-based message passing):
+// one-way sends with thin framing, a per-object server loop receiving
+// messages and dispatching them (the paper's Figure 15 main loop). Methods
+// listed as one-way return immediately after the send; others get a
+// request/reply conversation over the same transport.
+type simMPP struct {
+	cl            *cluster.Cluster
+	sizer         simnet.Sizer
+	remote, local simnet.LinkProfile
+	reg           *registry
+	oneway        map[string]bool
+	stats         statsBox
+
+	mu      sync.Mutex
+	wg      exec.WaitGroup
+	pending int
+}
+
+// NewSimMPP returns an MPP middleware over the simulated cluster. Methods
+// named in oneWayMethods are fire-and-forget sends (the paper's
+// comm.send of filter packs); all other methods use request/reply.
+func NewSimMPP(cl *cluster.Cluster, oneWayMethods ...string) Middleware {
+	p := simnet.MPPProfile()
+	ow := make(map[string]bool, len(oneWayMethods))
+	for _, m := range oneWayMethods {
+		ow[m] = true
+	}
+	return &simMPP{
+		cl:     cl,
+		sizer:  simnet.GobSizer{},
+		remote: p,
+		local:  simnet.LoopbackProfile(p),
+		reg:    newRegistry(),
+		oneway: ow,
+	}
+}
+
+func (m *simMPP) MiddlewareName() string { return "mpp" }
+
+func (m *simMPP) Stats() CommStats { return m.stats.get() }
+
+func (m *simMPP) link(from, to exec.NodeID) simnet.LinkProfile {
+	if from == to {
+		return m.local
+	}
+	return m.remote
+}
+
+// mppMsg is one message in an object's inbox.
+type mppMsg struct {
+	method string
+	args   []any
+	from   exec.NodeID
+	sentAt time.Duration
+	size   int
+	void   bool
+	reply  exec.Chan // nil for one-way
+}
+
+type mppReply struct {
+	res    []any
+	err    error
+	from   exec.NodeID
+	sentAt time.Duration
+	size   int
+}
+
+func (m *simMPP) ExportNew(ctx exec.Context, name string, node exec.NodeID, class *Class,
+	build func(rctx exec.Context) (any, error)) (any, error) {
+	rctx := ctx.OnNode(node)
+	link := m.link(ctx.Node(), node)
+	// Creation control messages, as in RMI but over the cheaper transport.
+	ctx.Compute(link.SendCPU(64))
+	ctx.Sleep(link.WireTime(64))
+	rctx.Compute(link.RecvCPU(64))
+	m.stats.count(2, 128)
+	obj, err := build(rctx)
+	if err != nil {
+		return nil, err
+	}
+	ctx.Sleep(link.WireTime(64)) // creation acknowledgement
+	e := &exportEntry{name: name, node: node, class: class, inbox: ctx.NewChan(1 << 16)}
+	if err := m.reg.add(obj, e); err != nil {
+		return nil, err
+	}
+	// The paper's Figure 15: the server main loop receiving messages and
+	// invoking the method on the local object.
+	ctx.SpawnDaemonOn(node, "mpp-server:"+name, func(sctx exec.Context) {
+		m.serve(sctx, e, obj)
+	})
+	return obj, nil
+}
+
+func (m *simMPP) serve(sctx exec.Context, e *exportEntry, obj any) {
+	for {
+		v, ok := e.inbox.Recv(sctx)
+		if !ok {
+			return
+		}
+		msg := v.(*mppMsg)
+		link := m.link(msg.from, e.node)
+		// The message is still on the wire until sentAt + wire time.
+		if arrival := msg.sentAt + link.WireTime(msg.size); arrival > sctx.Now() {
+			sctx.Sleep(arrival - sctx.Now())
+		}
+		sctx.Compute(link.RecvCPU(msg.size))
+		res, err := e.class.Dispatch(sctx, obj, msg.method, msg.args)
+		if msg.reply != nil {
+			size := 16
+			if !msg.void {
+				if s := m.sizer.Size(res); s > size {
+					size = s
+				}
+			}
+			sctx.Compute(link.SendCPU(size))
+			m.stats.count(1, int64(size))
+			msg.reply.Send(sctx, &mppReply{res: res, err: err, from: e.node, sentAt: sctx.Now(), size: size})
+		}
+		if msg.reply == nil {
+			m.settle()
+		}
+	}
+}
+
+func (m *simMPP) NodeOf(obj any) (exec.NodeID, bool) {
+	e, ok := m.reg.lookup(obj)
+	if !ok {
+		return 0, false
+	}
+	return e.node, true
+}
+
+func (m *simMPP) Invoke(ctx exec.Context, obj any, method string, args []any, void bool) ([]any, error) {
+	e, ok := m.reg.lookup(obj)
+	if !ok {
+		return nil, fmt.Errorf("par: mpp invoke on unexported object (%s)", method)
+	}
+	link := m.link(ctx.Node(), e.node)
+	size := m.sizer.Size(args)
+	ctx.Compute(link.SendCPU(size))
+	m.stats.count(1, int64(size))
+
+	msg := &mppMsg{method: method, args: args, from: ctx.Node(), sentAt: ctx.Now(), size: size, void: void}
+	if m.oneway[method] {
+		m.track(ctx)
+		e.inbox.Send(ctx, msg)
+		return nil, nil
+	}
+	msg.reply = ctx.NewChan(1)
+	e.inbox.Send(ctx, msg)
+	v, _ := msg.reply.Recv(ctx)
+	rep := v.(*mppReply)
+	rlink := m.link(rep.from, ctx.Node())
+	if arrival := rep.sentAt + rlink.WireTime(rep.size); arrival > ctx.Now() {
+		ctx.Sleep(arrival - ctx.Now())
+	}
+	ctx.Compute(rlink.RecvCPU(rep.size))
+	return rep.res, rep.err
+}
+
+func (m *simMPP) track(ctx exec.Context) {
+	m.mu.Lock()
+	if m.wg == nil {
+		m.wg = ctx.NewWaitGroup()
+	}
+	m.wg.Add(1)
+	m.pending++
+	m.mu.Unlock()
+}
+
+func (m *simMPP) settle() {
+	m.mu.Lock()
+	m.pending--
+	wg := m.wg
+	m.mu.Unlock()
+	wg.Done()
+}
+
+// Join implements Joiner: one-way messages in flight count as pending work.
+func (m *simMPP) Join(ctx exec.Context) error {
+	m.mu.Lock()
+	wg := m.wg
+	m.mu.Unlock()
+	if wg != nil {
+		wg.Wait(ctx)
+	}
+	return nil
+}
+
+// Quiet implements Joiner.
+func (m *simMPP) Quiet() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pending == 0
+}

@@ -1,0 +1,334 @@
+package par
+
+import (
+	"fmt"
+	"sync"
+
+	"aspectpar/internal/aspect"
+	"aspectpar/internal/exec"
+)
+
+// This file implements the paper's fourth concern category: optimisation
+// aspects (Section 4.4). "Examples are: thread pools, cache objects,
+// communication packing and replicated computation." Each is an
+// independently pluggable module.
+
+// --- Thread pool -------------------------------------------------------------
+
+// ThreadPool replaces the concurrency module's activity-per-call launcher
+// with a bounded pool of worker activities fed by a queue. Plugging it
+// changes no pointcut: it reconfigures the concurrency module, which is why
+// it must be built over an existing Concurrency.
+type ThreadPool struct {
+	conc    *Concurrency
+	workers int
+
+	mu      sync.Mutex
+	queue   exec.Chan
+	started bool
+	plugged bool
+}
+
+// NewThreadPool builds the optimisation over the given concurrency module.
+func NewThreadPool(conc *Concurrency, workers int) *ThreadPool {
+	if workers <= 0 {
+		panic(fmt.Sprintf("par: thread pool with %d workers", workers))
+	}
+	return &ThreadPool{conc: conc, workers: workers}
+}
+
+// ModuleName implements Module.
+func (t *ThreadPool) ModuleName() string { return fmt.Sprintf("threadpool(%d)", t.workers) }
+
+// Plug implements Module: it swaps the concurrency executor for the pool.
+func (t *ThreadPool) Plug(*aspect.Weaver) {
+	t.mu.Lock()
+	t.plugged = true
+	t.mu.Unlock()
+	t.conc.SetExecutor(t.submit)
+}
+
+// Unplug implements Module: it restores activity-per-call spawning.
+func (t *ThreadPool) Unplug(*aspect.Weaver) {
+	t.mu.Lock()
+	t.plugged = false
+	t.mu.Unlock()
+	t.conc.SetExecutor(nil)
+}
+
+type poolTask struct {
+	name string
+	fn   func(exec.Context)
+}
+
+// submit enqueues a task, starting the worker activities on first use (on
+// the submitting activity's node — the pool serves the client side, where
+// asynchronous calls are launched).
+func (t *ThreadPool) submit(ctx exec.Context, name string, task func(exec.Context)) {
+	t.mu.Lock()
+	if !t.started {
+		t.queue = ctx.NewChan(1 << 16)
+		for i := 0; i < t.workers; i++ {
+			ctx.SpawnDaemonOn(ctx.Node(), fmt.Sprintf("pool-worker-%d", i), t.worker)
+		}
+		t.started = true
+	}
+	q := t.queue
+	t.mu.Unlock()
+	q.Send(ctx, poolTask{name: name, fn: task})
+}
+
+func (t *ThreadPool) worker(ctx exec.Context) {
+	for {
+		v, ok := t.queue.Recv(ctx)
+		if !ok {
+			return
+		}
+		v.(poolTask).fn(ctx)
+	}
+}
+
+// --- Cache objects -----------------------------------------------------------
+
+// CacheKey derives the memoisation key for a call; returning ok=false skips
+// caching for that call.
+type CacheKey func(jp *aspect.JoinPoint) (key string, ok bool)
+
+// Caching memoises results of idempotent calls selected by a pointcut (the
+// paper's "cache objects" optimisation). The first call proceeds; repeats
+// are answered from the cache without touching the object — with
+// distribution plugged, without touching the network.
+type Caching struct {
+	asp *aspect.Aspect
+
+	mu     sync.Mutex
+	cache  map[string]cached
+	hits   int64
+	misses int64
+}
+
+type cached struct {
+	res []any
+	err error
+}
+
+// NewCaching builds the module; key nil caches per (target, method) for
+// argument-less calls only.
+func NewCaching(pc aspect.Pointcut, key CacheKey) *Caching {
+	c := &Caching{cache: make(map[string]cached)}
+	if key == nil {
+		key = func(jp *aspect.JoinPoint) (string, bool) {
+			if len(jp.Args) != 0 {
+				return "", false
+			}
+			return fmt.Sprintf("%p.%s", jp.Target, jp.Method), true
+		}
+	}
+	c.asp = aspect.NewAspect("caching", precOptimisation).
+		Around(pc, func(jp *aspect.JoinPoint, proceed aspect.ProceedFunc) ([]any, error) {
+			if jp.Bool(MarkRemote) {
+				return proceed(nil)
+			}
+			k, ok := key(jp)
+			if !ok {
+				return proceed(nil)
+			}
+			c.mu.Lock()
+			if hit, found := c.cache[k]; found {
+				c.hits++
+				c.mu.Unlock()
+				return hit.res, hit.err
+			}
+			c.misses++
+			c.mu.Unlock()
+			res, err := proceed(nil)
+			c.mu.Lock()
+			c.cache[k] = cached{res: res, err: err}
+			c.mu.Unlock()
+			return res, err
+		})
+	return c
+}
+
+// Stats returns (hits, misses).
+func (c *Caching) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// ModuleName implements Module.
+func (c *Caching) ModuleName() string { return "caching" }
+
+// Plug implements Module.
+func (c *Caching) Plug(w *aspect.Weaver) { w.Plug(c.asp) }
+
+// Unplug implements Module.
+func (c *Caching) Unplug(w *aspect.Weaver) { w.Unplug(c.asp) }
+
+// --- Communication packing ----------------------------------------------------
+
+// markPacked flags calls that carry an already-merged payload so the packing
+// advice does not re-buffer them.
+const markPacked = "par.packed"
+
+// Packing merges consecutive partition-generated calls to the same target
+// into fewer, larger calls (the paper's "communication packing"): with a
+// distribution middleware plugged, k packs travel as one message, trading
+// per-message overhead against pipelining. It applies to methods whose
+// single argument is an []int32 payload — the shape of the paper's number
+// packs. Buffered work is flushed when Degree packs accumulated per target;
+// Flush pushes out the remainder (the harness calls it before Join).
+type Packing struct {
+	class  *Class
+	method string
+	degree int
+	asp    *aspect.Aspect
+
+	mu     sync.Mutex
+	buf    map[any][]int32
+	count  map[any]int
+	merged int64
+	calls  int64
+}
+
+// NewPacking builds the module: calls to class.method are packed Degree-to-1.
+func NewPacking(class *Class, method string, degree int) *Packing {
+	if degree <= 1 {
+		panic(fmt.Sprintf("par: packing degree %d", degree))
+	}
+	p := &Packing{
+		class:  class,
+		method: method,
+		degree: degree,
+		buf:    make(map[any][]int32),
+		count:  make(map[any]int),
+	}
+	pc := aspect.Call(class.Name(), method)
+	p.asp = aspect.NewAspect("packing", precOptimisation).
+		Around(pc, func(jp *aspect.JoinPoint, proceed aspect.ProceedFunc) ([]any, error) {
+			if !jp.Bool(MarkInternal) || jp.Bool(MarkRemote) || jp.Bool(markPacked) {
+				return proceed(nil)
+			}
+			payload, ok := singleInt32Payload(jp.Args)
+			if !ok {
+				return proceed(nil)
+			}
+			ctx := ctxOf(jp)
+			p.mu.Lock()
+			p.calls++
+			p.buf[jp.Target] = append(p.buf[jp.Target], payload...)
+			p.count[jp.Target]++
+			ready := p.count[jp.Target] >= p.degree
+			var full []int32
+			if ready {
+				full = p.buf[jp.Target]
+				delete(p.buf, jp.Target)
+				delete(p.count, jp.Target)
+				p.merged++
+			}
+			p.mu.Unlock()
+			if !ready {
+				return nil, nil // buffered; the call is void/asynchronous
+			}
+			return p.class.CallMarked(ctx, map[string]any{MarkInternal: true, markPacked: true},
+				jp.Target, p.method, full)
+		})
+	return p
+}
+
+func singleInt32Payload(args []any) ([]int32, bool) {
+	if len(args) != 1 {
+		return nil, false
+	}
+	payload, ok := args[0].([]int32)
+	return payload, ok
+}
+
+// Flush sends every partially filled buffer as a final merged call.
+func (p *Packing) Flush(ctx exec.Context) error {
+	p.mu.Lock()
+	pendings := make(map[any][]int32, len(p.buf))
+	for t, b := range p.buf {
+		pendings[t] = b
+		p.merged++
+	}
+	p.buf = make(map[any][]int32)
+	p.count = make(map[any]int)
+	p.mu.Unlock()
+	marks := map[string]any{MarkInternal: true, markPacked: true}
+	for t, b := range pendings {
+		if _, err := p.class.CallMarked(ctx, marks, t, p.method, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns (callsBuffered, mergedMessagesSent).
+func (p *Packing) Stats() (calls, merged int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.calls, p.merged
+}
+
+// ModuleName implements Module.
+func (p *Packing) ModuleName() string { return fmt.Sprintf("packing(%d)", p.degree) }
+
+// Plug implements Module.
+func (p *Packing) Plug(w *aspect.Weaver) { w.Plug(p.asp) }
+
+// Unplug implements Module.
+func (p *Packing) Unplug(w *aspect.Weaver) { w.Unplug(p.asp) }
+
+// --- Replicated computation ---------------------------------------------------
+
+// Replication implements the paper's "replicated computation" optimisation:
+// calls to the selected method are executed on every managed replica
+// locally instead of being answered by one object and shipped around. It
+// suits cheap, deterministic state-setting methods (e.g. (re)seeding every
+// farm worker) where recomputing beats communicating.
+type Replication struct {
+	class  *Class
+	method string
+	source func() []any // managed set provider
+	asp    *aspect.Aspect
+}
+
+// NewReplication builds the module; managed supplies the current replica
+// set (e.g. Farm.Managed).
+func NewReplication(class *Class, method string, managed func() []any) *Replication {
+	r := &Replication{class: class, method: method, source: managed}
+	pc := aspect.Call(class.Name(), method)
+	r.asp = aspect.NewAspect("replication", precPartition+1).
+		Around(pc, func(jp *aspect.JoinPoint, proceed aspect.ProceedFunc) ([]any, error) {
+			if jp.Bool(MarkInternal) || jp.Bool(MarkRemote) {
+				return proceed(nil)
+			}
+			objs := r.source()
+			if len(objs) == 0 {
+				return proceed(nil)
+			}
+			ctx := ctxOf(jp)
+			marks := map[string]any{MarkInternal: true, MarkNoAsync: true}
+			var last []any
+			for _, obj := range objs {
+				res, err := r.class.CallMarked(ctx, marks, obj, r.method, jp.Args...)
+				if err != nil {
+					return nil, err
+				}
+				last = res
+			}
+			return last, nil
+		})
+	return r
+}
+
+// ModuleName implements Module.
+func (r *Replication) ModuleName() string { return "replication" }
+
+// Plug implements Module.
+func (r *Replication) Plug(w *aspect.Weaver) { w.Plug(r.asp) }
+
+// Unplug implements Module.
+func (r *Replication) Unplug(w *aspect.Weaver) { w.Unplug(r.asp) }

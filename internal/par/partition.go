@@ -1,0 +1,421 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"aspectpar/internal/aspect"
+	"aspectpar/internal/exec"
+)
+
+// managedSet is the bookkeeping shared by the partition protocols: the
+// aspect-managed objects that replaced the single core object (the paper's
+// Figure 4), in creation order.
+type managedSet struct {
+	mu   sync.Mutex
+	objs []any
+}
+
+func (s *managedSet) add(obj any) {
+	s.mu.Lock()
+	s.objs = append(s.objs, obj)
+	s.mu.Unlock()
+}
+
+func (s *managedSet) all() []any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]any, len(s.objs))
+	copy(out, s.objs)
+	return out
+}
+
+func (s *managedSet) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objs)
+}
+
+// Collect calls method (with no arguments) on every object of the managed
+// set, sequentially and inline, and returns the first result of each call.
+// It is the gather step applications use after Join: the calls are ordinary
+// woven calls, so with distribution plugged they fetch results over the
+// middleware.
+func collect(ctx exec.Context, class *Class, objs []any, method string) ([]any, error) {
+	marks := map[string]any{MarkInternal: true, MarkNoAsync: true}
+	out := make([]any, 0, len(objs))
+	for _, obj := range objs {
+		res, err := class.CallMarked(ctx, marks, obj, method)
+		if err != nil {
+			return nil, err
+		}
+		if len(res) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		out = append(out, res[0])
+	}
+	return out, nil
+}
+
+// --- Pipeline ---------------------------------------------------------------
+
+// PipelineConfig parameterises the reusable pipeline protocol — the Go
+// rendering of the paper's abstract PipelineProtocol aspect (Figure 9).
+type PipelineConfig struct {
+	// Class is the core class whose instances form the pipeline.
+	Class *Class
+	// Method is the processing method to split and forward (the paper's
+	// compute/filter).
+	Method string
+	// Stages is the number of pipeline elements to create in place of the
+	// single core object.
+	Stages int
+	// StageArgs derives stage i's constructor arguments from the original
+	// ones (the paper divides the prime range among elements). nil reuses
+	// the original arguments.
+	StageArgs func(orig []any, stage int) []any
+	// Split divides one core-functionality call's arguments into the
+	// argument lists of the parallel sub-calls (the paper's pack split).
+	// nil forwards the original call unsplit.
+	Split func(args []any) [][]any
+	// Forward derives, from a completed stage call, the arguments to send
+	// to the next stage; returning nil stops propagation at this stage.
+	// nil reuses the sub-call arguments unchanged.
+	Forward func(stage int, results []any, args []any) []any
+}
+
+// Pipeline is the pipeline partition module: object duplication into a chain
+// of stages, method-call split, and stage-to-stage forwarding.
+type Pipeline struct {
+	cfg     PipelineConfig
+	head    *aspect.Aspect // duplication + split (outermost)
+	forward *aspect.Aspect // forwarding (server side, inner)
+
+	set   managedSet
+	mu    sync.Mutex
+	next  map[any]any
+	index map[any]int
+}
+
+// NewPipeline builds the module.
+func NewPipeline(cfg PipelineConfig) *Pipeline {
+	if cfg.Class == nil || cfg.Method == "" || cfg.Stages <= 0 {
+		panic(fmt.Sprintf("par: invalid pipeline config %+v", cfg))
+	}
+	p := &Pipeline{cfg: cfg, next: make(map[any]any), index: make(map[any]int)}
+
+	newPC := aspect.New(cfg.Class.Name())
+	callPC := aspect.Call(cfg.Class.Name(), cfg.Method)
+
+	p.head = aspect.NewAspect("pipeline", precPartition)
+	// Object duplication (paper Figure 8, block 1): create the pipeline
+	// elements in reverse order, remember the chain in next, hand the first
+	// element back to the oblivious client.
+	p.head.Around(newPC, func(jp *aspect.JoinPoint, proceed aspect.ProceedFunc) ([]any, error) {
+		orig := append([]any(nil), jp.Args...)
+		var nextObj any
+		stages := make([]any, cfg.Stages)
+		for i := cfg.Stages - 1; i >= 0; i-- {
+			args := orig
+			if cfg.StageArgs != nil {
+				args = cfg.StageArgs(orig, i)
+			}
+			res, err := proceed(args)
+			if err != nil {
+				return nil, err
+			}
+			obj := res[0]
+			stages[i] = obj
+			p.mu.Lock()
+			p.next[obj] = nextObj
+			p.index[obj] = i
+			p.mu.Unlock()
+			nextObj = obj
+		}
+		for _, obj := range stages {
+			p.set.add(obj)
+		}
+		return []any{stages[0]}, nil
+	})
+	// Method-call split (block 2): a core-functionality call becomes a
+	// series of sub-calls entering the first pipeline element.
+	p.head.Around(callPC, func(jp *aspect.JoinPoint, proceed aspect.ProceedFunc) ([]any, error) {
+		if jp.Bool(MarkInternal) || jp.Bool(MarkRemote) {
+			return proceed(nil)
+		}
+		ctx := ctxOf(jp)
+		head := jp.Target
+		parts := [][]any{jp.Args}
+		if cfg.Split != nil {
+			parts = cfg.Split(jp.Args)
+		}
+		marks := map[string]any{MarkInternal: true}
+		var errs []error
+		for _, part := range parts {
+			if _, err := cfg.Class.CallMarked(ctx, marks, head, cfg.Method, part...); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		return nil, errors.Join(errs...)
+	})
+
+	// Call forwarding (block 3): after a stage processed a call, propagate
+	// it to the next element. This advice sits inside distribution, so it
+	// runs where the stage lives; the generated call is itself woven, so it
+	// travels one middleware hop.
+	p.forward = aspect.NewAspect("pipeline-forward", precForward)
+	p.forward.Around(callPC, func(jp *aspect.JoinPoint, proceed aspect.ProceedFunc) ([]any, error) {
+		res, err := proceed(nil)
+		if err != nil {
+			return res, err
+		}
+		p.mu.Lock()
+		nxt := p.next[jp.Target]
+		stage := p.index[jp.Target]
+		p.mu.Unlock()
+		if nxt == nil {
+			return res, nil
+		}
+		fw := jp.Args
+		if cfg.Forward != nil {
+			fw = cfg.Forward(stage, res, jp.Args)
+		}
+		if fw == nil {
+			return res, nil
+		}
+		marks := map[string]any{MarkInternal: true}
+		if _, err := cfg.Class.CallMarked(ctxOf(jp), marks, nxt, cfg.Method, fw...); err != nil {
+			return res, err
+		}
+		return res, nil
+	})
+	return p
+}
+
+// ModuleName implements Module.
+func (p *Pipeline) ModuleName() string { return fmt.Sprintf("pipeline(%d)", p.cfg.Stages) }
+
+// Plug implements Module.
+func (p *Pipeline) Plug(w *aspect.Weaver) { w.Plug(p.head, p.forward) }
+
+// Unplug implements Module.
+func (p *Pipeline) Unplug(w *aspect.Weaver) {
+	w.Unplug(p.head)
+	w.Unplug(p.forward)
+}
+
+// Managed returns the pipeline elements in stage order.
+func (p *Pipeline) Managed() []any { return p.set.all() }
+
+// Collect gathers method() from every stage (see collect).
+func (p *Pipeline) Collect(ctx exec.Context, method string) ([]any, error) {
+	return collect(ctx, p.cfg.Class, p.set.all(), method)
+}
+
+// --- Farm -------------------------------------------------------------------
+
+// FarmConfig parameterises the farm protocol: every worker can process any
+// piece of work (the paper's Figure 10, "each pack of numbers can be
+// processed by ANY PrimeFilter").
+type FarmConfig struct {
+	// Class is the core class whose instances form the farm.
+	Class *Class
+	// Method is the processing method to split.
+	Method string
+	// Workers is the number of replicas replacing the single core object.
+	Workers int
+	// WorkerArgs derives replica i's constructor arguments; nil broadcasts
+	// the original arguments to every replica (each farm filter holds ALL
+	// the seed primes).
+	WorkerArgs func(orig []any, worker int) []any
+	// Split divides one call into work pieces; nil keeps the call whole.
+	Split func(args []any) [][]any
+	// Dynamic selects self-scheduling: instead of pre-assigning pieces
+	// round-robin, one dispatcher activity per worker pulls the next piece
+	// when the previous finished. This is the paper's dynamic farm — the
+	// case where partition and concurrency could not be separated, so the
+	// module manages its own activities and the plain Concurrency module
+	// is not used with it.
+	Dynamic bool
+}
+
+// Farm is the farm partition module (static round-robin or dynamic
+// self-scheduling).
+type Farm struct {
+	cfg FarmConfig
+	asp *aspect.Aspect
+
+	set managedSet
+
+	mu      sync.Mutex
+	rr      int
+	wg      exec.WaitGroup
+	pending int
+	errs    []error
+}
+
+// NewFarm builds the module.
+func NewFarm(cfg FarmConfig) *Farm {
+	if cfg.Class == nil || cfg.Method == "" || cfg.Workers <= 0 {
+		panic(fmt.Sprintf("par: invalid farm config %+v", cfg))
+	}
+	f := &Farm{cfg: cfg}
+
+	newPC := aspect.New(cfg.Class.Name())
+	callPC := aspect.Call(cfg.Class.Name(), cfg.Method)
+
+	name := "farm"
+	if cfg.Dynamic {
+		name = "dynamic-farm"
+	}
+	f.asp = aspect.NewAspect(name, precPartition)
+
+	// Object duplication with broadcast constructor arguments.
+	f.asp.Around(newPC, func(jp *aspect.JoinPoint, proceed aspect.ProceedFunc) ([]any, error) {
+		orig := append([]any(nil), jp.Args...)
+		var first any
+		for i := 0; i < cfg.Workers; i++ {
+			args := orig
+			if cfg.WorkerArgs != nil {
+				args = cfg.WorkerArgs(orig, i)
+			}
+			res, err := proceed(args)
+			if err != nil {
+				return nil, err
+			}
+			f.set.add(res[0])
+			if i == 0 {
+				first = res[0]
+			}
+		}
+		return []any{first}, nil
+	})
+
+	// Method-call split; each piece goes to one worker.
+	f.asp.Around(callPC, func(jp *aspect.JoinPoint, proceed aspect.ProceedFunc) ([]any, error) {
+		if jp.Bool(MarkInternal) || jp.Bool(MarkRemote) {
+			return proceed(nil)
+		}
+		ctx := ctxOf(jp)
+		parts := [][]any{jp.Args}
+		if cfg.Split != nil {
+			parts = cfg.Split(jp.Args)
+		}
+		workers := f.set.all()
+		if len(workers) == 0 {
+			// The object was never duplicated (created before the module
+			// was plugged): process locally, unsplit.
+			return proceed(nil)
+		}
+		if cfg.Dynamic {
+			return nil, f.dispatchDynamic(ctx, workers, parts)
+		}
+		marks := map[string]any{MarkInternal: true}
+		var errs []error
+		for _, part := range parts {
+			w := workers[f.nextWorker(len(workers))]
+			if _, err := cfg.Class.CallMarked(ctx, marks, w, cfg.Method, part...); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		return nil, errors.Join(errs...)
+	})
+	return f
+}
+
+func (f *Farm) nextWorker(n int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	i := f.rr % n
+	f.rr++
+	return i
+}
+
+// dispatchDynamic implements self-scheduling: a shared work queue and one
+// dispatcher activity per worker pulling from it. The per-piece calls run
+// inline (MarkNoAsync) — the dispatcher activity is the concurrency.
+func (f *Farm) dispatchDynamic(ctx exec.Context, workers []any, parts [][]any) error {
+	queue := ctx.NewChan(len(parts))
+	for _, part := range parts {
+		queue.Send(ctx, part)
+	}
+	queue.Close()
+	marks := map[string]any{MarkInternal: true, MarkNoAsync: true}
+	f.mu.Lock()
+	if f.wg == nil {
+		f.wg = ctx.NewWaitGroup()
+	}
+	f.wg.Add(len(workers))
+	f.pending += len(workers)
+	f.mu.Unlock()
+	for i, w := range workers {
+		w := w
+		ctx.Spawn(fmt.Sprintf("farm-worker-%d", i), func(child exec.Context) {
+			defer f.workerDone()
+			for {
+				part, ok := queue.Recv(child)
+				if !ok {
+					return
+				}
+				if _, err := f.cfg.Class.CallMarked(child, marks, w, f.cfg.Method, part.([]any)...); err != nil {
+					f.mu.Lock()
+					f.errs = append(f.errs, err)
+					f.mu.Unlock()
+				}
+			}
+		})
+	}
+	return nil
+}
+
+func (f *Farm) workerDone() {
+	f.mu.Lock()
+	f.pending--
+	wg := f.wg
+	f.mu.Unlock()
+	wg.Done()
+}
+
+// ModuleName implements Module.
+func (f *Farm) ModuleName() string {
+	if f.cfg.Dynamic {
+		return fmt.Sprintf("dynamic-farm(%d)", f.cfg.Workers)
+	}
+	return fmt.Sprintf("farm(%d)", f.cfg.Workers)
+}
+
+// Plug implements Module.
+func (f *Farm) Plug(w *aspect.Weaver) { w.Plug(f.asp) }
+
+// Unplug implements Module.
+func (f *Farm) Unplug(w *aspect.Weaver) { w.Unplug(f.asp) }
+
+// Managed returns the farm replicas in creation order.
+func (f *Farm) Managed() []any { return f.set.all() }
+
+// Collect gathers method() from every replica (see collect).
+func (f *Farm) Collect(ctx exec.Context, method string) ([]any, error) {
+	return collect(ctx, f.cfg.Class, f.set.all(), method)
+}
+
+// Join implements Joiner (meaningful for the dynamic farm's dispatchers).
+func (f *Farm) Join(ctx exec.Context) error {
+	f.mu.Lock()
+	wg := f.wg
+	f.mu.Unlock()
+	if wg != nil {
+		wg.Wait(ctx)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return errors.Join(f.errs...)
+}
+
+// Quiet implements Joiner.
+func (f *Farm) Quiet() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.pending == 0
+}

@@ -1,0 +1,123 @@
+package par
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"aspectpar/internal/aspect"
+	"aspectpar/internal/cluster"
+	"aspectpar/internal/exec"
+	"aspectpar/internal/sim"
+)
+
+// Property: for any worker count, pack size, payload and middleware choice,
+// the farm processes every element exactly once — nothing lost to a lost
+// message, nothing duplicated by a double dispatch.
+func TestFarmCompletenessProperty(t *testing.T) {
+	f := func(workersRaw, chunkRaw, lenRaw uint8, useMPP, dynamic bool) bool {
+		workers := int(workersRaw%5) + 1
+		chunk := int(chunkRaw%7) + 1
+		n := int(lenRaw%60) + 1
+		if dynamic && useMPP {
+			useMPP = false // the paper only pairs the dynamic farm with RMI
+		}
+
+		dom, class := defineBox(t)
+		farm := NewFarm(FarmConfig{
+			Class: class, Method: "Work", Workers: workers,
+			Split: splitBy(chunk), Dynamic: dynamic,
+		})
+		mods := []Module{farm}
+		if !dynamic {
+			mods = append(mods, NewConcurrency(aspect.Call("Box", "Work")))
+		}
+		cl := cluster.New(sim.NewEngine(), cluster.PaperTestbed())
+		var mw Middleware
+		if useMPP {
+			mw = NewSimMPP(cl, "Work")
+		} else {
+			mw = NewSimRMI(cl)
+		}
+		mods = append(mods,
+			NewDistribution(dom, aspect.New("Box"), aspect.Call("Box", "*"), mw, RoundRobin(1, 6)),
+			NewMetering(aspect.Call("Box", "*"), 100, 0))
+		stack := NewStack(dom, mods...)
+
+		data := make([]int32, n)
+		want := int64(0)
+		for i := range data {
+			data[i] = int32(i + 1)
+			want += int64(i + 1)
+		}
+		var got int64
+		err := cl.Run(func(ctx exec.Context) {
+			obj, err := class.New(ctx)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := class.Call(ctx, obj, "Work", data); err != nil {
+				panic(err)
+			}
+			if err := stack.Join(ctx); err != nil {
+				panic(err)
+			}
+			sums, err := farm.Collect(ctx, "Sum")
+			if err != nil {
+				panic(err)
+			}
+			for _, s := range sums {
+				got += s.(int64)
+			}
+		})
+		if err != nil {
+			t.Logf("run failed (workers=%d chunk=%d n=%d mpp=%v dyn=%v): %v",
+				workers, chunk, n, useMPP, dynamic, err)
+			return false
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the pipeline visits stages strictly in order for every piece of
+// work, regardless of stage count and split granularity.
+func TestPipelineOrderProperty(t *testing.T) {
+	f := func(stagesRaw, chunkRaw uint8) bool {
+		stages := int(stagesRaw%4) + 2
+		chunk := int(chunkRaw%5) + 1
+
+		dom, class := defineBox(t)
+		pipe := NewPipeline(PipelineConfig{
+			Class: class, Method: "Work", Stages: stages, Split: splitBy(chunk),
+			StageArgs: func(orig []any, s int) []any { return []any{fmt.Sprintf("s%d", s)} },
+		})
+		conc := NewConcurrency(aspect.Call("Box", "Work"))
+		stack := NewStack(dom, pipe, conc)
+		cl := cluster.New(sim.NewEngine(), cluster.Config{Machines: 1, ContextsPerMachine: 4})
+		data := []int32{1, 2, 3, 4, 5, 6, 7}
+		ok := true
+		err := cl.Run(func(ctx exec.Context) {
+			obj, _ := class.New(ctx)
+			if _, err := class.Call(ctx, obj, "Work", data); err != nil {
+				panic(err)
+			}
+			if err := stack.Join(ctx); err != nil {
+				panic(err)
+			}
+			// Each stage must have seen every element exactly once.
+			for _, s := range pipe.Managed() {
+				b := s.(*box)
+				if len(b.items) != len(data) {
+					ok = false
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,82 @@
+// Package pool provides a bounded worker pool — the real-time counterpart of
+// the thread-pool optimisation aspect: N goroutines serve a task queue, so a
+// burst of asynchronous method invocations costs N goroutines instead of one
+// per call.
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrClosed is returned by Submit after Shutdown began.
+var ErrClosed = errors.New("pool: closed")
+
+// Pool is a fixed-size worker pool. Create with New; it is safe for
+// concurrent use.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	executed atomic.Int64
+}
+
+// New starts a pool of `workers` goroutines with a task queue of capacity
+// `queue` (0 = hand-off: Submit blocks until a worker is free).
+func New(workers, queue int) *Pool {
+	if workers <= 0 {
+		panic(fmt.Sprintf("pool: %d workers", workers))
+	}
+	if queue < 0 {
+		panic(fmt.Sprintf("pool: queue capacity %d", queue))
+	}
+	p := &Pool{tasks: make(chan func(), queue)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for task := range p.tasks {
+		task()
+		p.executed.Add(1)
+	}
+}
+
+// Submit enqueues a task, blocking while the queue is full. It returns
+// ErrClosed once Shutdown began.
+func (p *Pool) Submit(task func()) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	// Lock held across the send so Shutdown cannot close the channel
+	// between the check and the send.
+	p.tasks <- task
+	p.mu.Unlock()
+	return nil
+}
+
+// Executed reports how many tasks completed.
+func (p *Pool) Executed() int64 { return p.executed.Load() }
+
+// Shutdown stops accepting tasks, drains the queue, and waits for the
+// workers to finish. It is idempotent.
+func (p *Pool) Shutdown() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,121 @@
+package pool
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestExecutesAllTasks(t *testing.T) {
+	p := New(4, 16)
+	var counter atomic.Int64
+	for i := 0; i < 100; i++ {
+		if err := p.Submit(func() { counter.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Shutdown()
+	if counter.Load() != 100 {
+		t.Errorf("counter = %d", counter.Load())
+	}
+	if p.Executed() != 100 {
+		t.Errorf("Executed = %d", p.Executed())
+	}
+}
+
+func TestBoundedParallelism(t *testing.T) {
+	const workers = 3
+	p := New(workers, 0)
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = p.Submit(func() {
+				n := cur.Add(1)
+				mu.Lock()
+				if n > peak.Load() {
+					peak.Store(n)
+				}
+				mu.Unlock()
+				<-gate
+				cur.Add(-1)
+			})
+		}()
+	}
+	// Let the three workers pick up tasks, then release everything.
+	for cur.Load() < workers {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	p.Shutdown()
+	if peak.Load() > workers {
+		t.Errorf("peak = %d > %d workers", peak.Load(), workers)
+	}
+}
+
+func TestSubmitAfterShutdown(t *testing.T) {
+	p := New(1, 1)
+	p.Shutdown()
+	p.Shutdown() // idempotent
+	if err := p.Submit(func() {}); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestShutdownDrainsQueue(t *testing.T) {
+	p := New(1, 64)
+	var counter atomic.Int64
+	for i := 0; i < 50; i++ {
+		_ = p.Submit(func() { counter.Add(1) })
+	}
+	p.Shutdown()
+	if counter.Load() != 50 {
+		t.Errorf("counter = %d; Shutdown must drain the queue", counter.Load())
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 1) },
+		func() { New(1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid config should panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestConcurrentSubmitters(t *testing.T) {
+	p := New(8, 8)
+	var counter atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := p.Submit(func() { counter.Add(1) }); err != nil {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	p.Shutdown()
+	if counter.Load() != 800 {
+		t.Errorf("counter = %d", counter.Load())
+	}
+}

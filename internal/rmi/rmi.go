@@ -1,0 +1,276 @@
+// Package rmi is a working remote method invocation middleware: the Go
+// analogue of the Java RMI substrate the paper's distribution aspect targets.
+// It provides a name server (registry), exported objects served over TCP
+// with gob encoding, and client stubs that redirect method calls across the
+// network. The simulated experiments use the cost-model twin in package par;
+// this package exists so the distribution concern also runs for real (see
+// examples/distribution and the tests).
+package rmi
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// DispatchFunc executes a method on the exported object — the skeleton side
+// of the call.
+type DispatchFunc func(method string, args []any) ([]any, error)
+
+// RemoteError carries a server-side failure back to the caller (the
+// analogue of Java's RemoteException payload).
+type RemoteError struct{ Msg string }
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "rmi: remote error: " + e.Msg }
+
+// ErrNotBound is wrapped in lookup failures for unknown names.
+var ErrNotBound = errors.New("rmi: name not bound")
+
+func init() {
+	// Wire types that cross the connection inside []any.
+	gob.Register([]int32(nil))
+	gob.Register([]int64(nil))
+	gob.Register([]float64(nil))
+	gob.Register([]byte(nil))
+}
+
+// RegisterType makes a concrete argument/result type encodable across RMI
+// (gob requires concrete types carried in interfaces to be registered).
+func RegisterType(v any) { gob.Register(v) }
+
+// request/response are the wire protocol.
+type request struct {
+	Object string
+	Method string
+	Args   []any
+}
+
+type response struct {
+	Results []any
+	Err     string
+	Bound   bool // lookup replies
+}
+
+// Server hosts exported objects and the name server.
+type Server struct {
+	mu      sync.Mutex
+	ln      net.Listener
+	objects map[string]DispatchFunc
+	conns   map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewServer returns a server with an empty registry.
+func NewServer() *Server {
+	return &Server{objects: make(map[string]DispatchFunc), conns: make(map[net.Conn]struct{})}
+}
+
+// Export binds an object under a name (the registry's bind operation).
+// Rebinding a name replaces the previous object, like Java's Naming.rebind.
+func (s *Server) Export(name string, dispatch DispatchFunc) {
+	s.mu.Lock()
+	s.objects[name] = dispatch
+	s.mu.Unlock()
+}
+
+// Unexport removes a binding; it reports whether the name was bound.
+func (s *Server) Unexport(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.objects[name]
+	delete(s.objects, name)
+	return ok
+}
+
+// Names lists the bound names (diagnostics).
+func (s *Server) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.objects))
+	for n := range s.objects {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Listen starts serving on addr ("127.0.0.1:0" picks a free port) and
+// returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("rmi: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or broken connection
+		}
+		resp := s.handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req *request) *response {
+	s.mu.Lock()
+	dispatch, ok := s.objects[req.Object]
+	s.mu.Unlock()
+	if req.Method == "" { // lookup probe
+		return &response{Bound: ok}
+	}
+	if !ok {
+		return &response{Err: fmt.Sprintf("object %q not bound", req.Object)}
+	}
+	results, err := dispatch(req.Method, req.Args)
+	resp := &response{Results: results, Bound: true}
+	if err != nil {
+		resp.Err = err.Error()
+	}
+	return resp
+}
+
+// Close stops the listener and all connections, then waits for the serving
+// goroutines.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+// Client is a connection to an RMI server. Calls on a client serialise over
+// one TCP connection (request/response), like a single RMI transport
+// channel.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *gob.Decoder
+	enc  *gob.Encoder
+}
+
+// Dial connects to an RMI server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rmi: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req *request) (*response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("rmi: send: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("rmi: connection closed by server: %w", err)
+		}
+		return nil, fmt.Errorf("rmi: receive: %w", err)
+	}
+	return &resp, nil
+}
+
+// Lookup resolves a name to a stub; it fails with ErrNotBound for unknown
+// names (the client contacting the name server, the paper's modification 3).
+func (c *Client) Lookup(name string) (*Stub, error) {
+	resp, err := c.roundTrip(&request{Object: name})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.Bound {
+		return nil, fmt.Errorf("%w: %s", ErrNotBound, name)
+	}
+	return &Stub{client: c, name: name}, nil
+}
+
+// Stub is a client-side remote reference: method calls on it redirect over
+// the network (the paper's modification 4, with the try/catch logic folded
+// into the returned error).
+type Stub struct {
+	client *Client
+	name   string
+}
+
+// Name returns the bound name this stub refers to.
+func (s *Stub) Name() string { return s.name }
+
+// Invoke performs the remote method invocation.
+func (s *Stub) Invoke(method string, args ...any) ([]any, error) {
+	if method == "" {
+		return nil, errors.New("rmi: empty method name")
+	}
+	resp, err := s.client.roundTrip(&request{Object: s.name, Method: method, Args: args})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return resp.Results, &RemoteError{Msg: resp.Err}
+	}
+	return resp.Results, nil
+}

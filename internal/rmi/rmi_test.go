@@ -1,0 +1,193 @@
+package rmi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// startServer exports a counter object and returns the address plus a
+// cleanup hook.
+func startServer(t *testing.T) (addr string, s *Server) {
+	t.Helper()
+	s = NewServer()
+	var mu sync.Mutex
+	total := int64(0)
+	s.Export("counter", func(method string, args []any) ([]any, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch method {
+		case "Add":
+			total += args[0].(int64)
+			return nil, nil
+		case "Get":
+			return []any{total}, nil
+		case "Fail":
+			return nil, fmt.Errorf("server-side failure")
+		default:
+			return nil, fmt.Errorf("no method %s", method)
+		}
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback TCP unavailable: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return addr, s
+}
+
+func TestLookupAndInvoke(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	stub, err := c.Lookup("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stub.Name() != "counter" {
+		t.Errorf("Name = %q", stub.Name())
+	}
+	if _, err := stub.Invoke("Add", int64(5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stub.Invoke("Add", int64(7)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := stub.Invoke("Get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].(int64) != 12 {
+		t.Errorf("Get = %v", res[0])
+	}
+}
+
+func TestLookupUnbound(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Lookup("missing"); !errors.Is(err, ErrNotBound) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRemoteErrorPropagates(t *testing.T) {
+	addr, _ := startServer(t)
+	c, _ := Dial(addr)
+	defer c.Close()
+	stub, _ := c.Lookup("counter")
+	_, err := stub.Invoke("Fail")
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	if re.Msg != "server-side failure" {
+		t.Errorf("Msg = %q", re.Msg)
+	}
+}
+
+func TestSlicePayloads(t *testing.T) {
+	s := NewServer()
+	s.Export("echo", func(method string, args []any) ([]any, error) {
+		return args, nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback TCP unavailable: %v", err)
+	}
+	defer s.Close()
+	c, _ := Dial(addr)
+	defer c.Close()
+	stub, _ := c.Lookup("echo")
+	payload := []int32{2, 3, 5, 7}
+	res, err := stub.Invoke("Echo", payload, "tag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(res[0]) != "[2 3 5 7]" || res[1] != "tag" {
+		t.Errorf("res = %v", res)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	addr, _ := startServer(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			stub, err := c.Lookup("counter")
+			if err != nil {
+				t.Errorf("lookup: %v", err)
+				return
+			}
+			for i := 0; i < 25; i++ {
+				if _, err := stub.Invoke("Add", int64(1)); err != nil {
+					t.Errorf("invoke: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	c, _ := Dial(addr)
+	defer c.Close()
+	stub, _ := c.Lookup("counter")
+	res, err := stub.Invoke("Get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].(int64) != 100 {
+		t.Errorf("total = %v, want 100", res[0])
+	}
+}
+
+func TestUnexportAndNames(t *testing.T) {
+	s := NewServer()
+	s.Export("a", func(string, []any) ([]any, error) { return nil, nil })
+	s.Export("b", func(string, []any) ([]any, error) { return nil, nil })
+	if got := len(s.Names()); got != 2 {
+		t.Errorf("Names = %d", got)
+	}
+	if !s.Unexport("a") {
+		t.Error("Unexport(a) should report true")
+	}
+	if s.Unexport("a") {
+		t.Error("second Unexport(a) should report false")
+	}
+}
+
+func TestInvokeEmptyMethod(t *testing.T) {
+	addr, _ := startServer(t)
+	c, _ := Dial(addr)
+	defer c.Close()
+	stub, _ := c.Lookup("counter")
+	if _, err := stub.Invoke(""); err == nil {
+		t.Error("empty method should fail client-side")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Skip("port 1 unexpectedly open")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	_, s := startServer(t)
+	s.Close()
+	s.Close()
+}

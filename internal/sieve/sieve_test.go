@@ -1,0 +1,354 @@
+package sieve
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestReferenceSmall(t *testing.T) {
+	got := fmt.Sprint(Reference(30))
+	want := "[2 3 5 7 11 13 17 19 23 29]"
+	if got != want {
+		t.Errorf("Reference(30) = %s, want %s", got, want)
+	}
+	if Reference(1) != nil {
+		t.Error("Reference(1) should be empty")
+	}
+	if got := len(Reference(10_000)); got != 1229 {
+		t.Errorf("π(10000) = %d, want 1229", got)
+	}
+}
+
+func TestNewPrimeFilterSeeds(t *testing.T) {
+	f, err := NewPrimeFilter(2, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(f.Seeds()); got != "[2 3 5 7 11 13 17 19 23 29 31]" {
+		t.Errorf("seeds = %s", got)
+	}
+	if f.TakeOps() == 0 {
+		t.Error("constructor should count operations")
+	}
+	if f.TakeOps() != 0 {
+		t.Error("TakeOps must reset the counter")
+	}
+	lo, hi := f.Range()
+	if lo != 2 || hi != 31 {
+		t.Errorf("Range = %d,%d", lo, hi)
+	}
+}
+
+func TestNewPrimeFilterSubrange(t *testing.T) {
+	f, err := NewPrimeFilter(10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(f.Seeds()); got != "[11 13 17 19]" {
+		t.Errorf("seeds = %s", got)
+	}
+}
+
+func TestNewPrimeFilterInvalid(t *testing.T) {
+	if _, err := NewPrimeFilter(1, 10); err == nil {
+		t.Error("pmin < 2 should fail")
+	}
+	if _, err := NewPrimeFilter(10, 9); err == nil {
+		t.Error("pmax < pmin should fail")
+	}
+}
+
+func TestFilterRemovesMultiples(t *testing.T) {
+	f, _ := NewPrimeFilter(2, 10) // seeds 2,3,5,7
+	in := []int32{101, 102, 103, 105, 107, 109, 111, 113, 115, 119, 121}
+	out := f.Filter(in)
+	// 102=2·51, 105=3·35, 111=3·37, 115=5·23, 119=7·17 removed;
+	// 121=11² survives (11 is not a seed of this filter).
+	want := "[101 103 107 109 113 121]"
+	if got := fmt.Sprint(out); got != want {
+		t.Errorf("survivors = %s, want %s", got, want)
+	}
+	if got := fmt.Sprint(f.Accepted()); got != want {
+		t.Errorf("accepted = %s, want %s", got, want)
+	}
+	if f.TakeOps() == 0 {
+		t.Error("Filter should count operations")
+	}
+}
+
+func TestFilterAccumulatesAccepted(t *testing.T) {
+	f, _ := NewPrimeFilter(2, 10)
+	f.Filter([]int32{101})
+	f.Filter([]int32{103})
+	if got := fmt.Sprint(f.Accepted()); got != "[101 103]" {
+		t.Errorf("accepted = %s", got)
+	}
+}
+
+func TestISqrt(t *testing.T) {
+	cases := map[int32]int32{0: 0, 1: 1, 3: 1, 4: 2, 8: 2, 9: 3, 10_000_000: 3162}
+	for n, want := range cases {
+		if got := ISqrt(n); got != want {
+			t.Errorf("ISqrt(%d) = %d, want %d", n, got, want)
+		}
+	}
+	f := func(n int32) bool {
+		if n < 0 {
+			n = -n
+		}
+		r := ISqrt(n)
+		return int64(r)*int64(r) <= int64(n) && int64(r+1)*int64(r+1) > int64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCandidates(t *testing.T) {
+	got := fmt.Sprint(Candidates(4, 15))
+	if got != "[5 7 9 11 13 15]" {
+		t.Errorf("Candidates(4,15) = %s", got)
+	}
+	got = fmt.Sprint(Candidates(5, 11))
+	if got != "[7 9 11]" {
+		t.Errorf("Candidates(5,11) = %s", got)
+	}
+	if Candidates(10, 10) != nil {
+		t.Error("empty range should be nil")
+	}
+}
+
+func TestChecksum(t *testing.T) {
+	n, s := Checksum([]int32{2, 3, 5})
+	if n != 3 || s != 10 {
+		t.Errorf("Checksum = %d, %d", n, s)
+	}
+}
+
+// Property: sequential filtering through the core class equals the
+// Eratosthenes oracle, for any max.
+func TestCoreMatchesReference(t *testing.T) {
+	f := func(raw uint16) bool {
+		max := int32(raw%5000) + 10
+		sq := ISqrt(max)
+		pf, err := NewPrimeFilter(2, sq)
+		if err != nil {
+			return false
+		}
+		primes := append(pf.Seeds(), pf.Filter(Candidates(sq, max))...)
+		wantN, wantS := Checksum(Reference(max))
+		gotN, gotS := Checksum(primes)
+		return gotN == wantN && gotS == wantS
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: stage ranges partition [2, sqrtMax] exactly: every seed prime
+// belongs to exactly one range.
+func TestStageRangesCoverSeeds(t *testing.T) {
+	f := func(rawMax uint16, rawK uint8) bool {
+		sqrtMax := int32(rawMax%1000) + 4
+		k := int(rawK%16) + 1
+		ranges := stageRanges(sqrtMax, k)
+		if len(ranges) != k {
+			return false
+		}
+		if ranges[0][0] != 2 || ranges[k-1][1] != sqrtMax {
+			return false
+		}
+		seeds := Reference(sqrtMax)
+		count := 0
+		for _, p := range seeds {
+			in := 0
+			for _, r := range ranges {
+				if p >= r[0] && p <= r[1] {
+					in++
+				}
+			}
+			if in != 1 {
+				return false
+			}
+			count++
+		}
+		return count == len(seeds)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- Variant correctness: every module combination computes the same primes.
+
+func smallParams(filters int) Params {
+	p := PaperParams(filters)
+	p.Max = 200_000
+	p.Packs = 10
+	return p
+}
+
+func TestAllVariantsComputeTheSamePrimes(t *testing.T) {
+	p := smallParams(4)
+	wantN, wantS := Checksum(Reference(p.Max))
+	for _, v := range append(Variants(), Seq, HandPipeRMI) {
+		res, err := Run(v, p)
+		if err != nil {
+			t.Errorf("%s: %v", v, err)
+			continue
+		}
+		if res.PrimeCount != wantN || res.PrimeSum != wantS {
+			t.Errorf("%s: primes (%d, %d), want (%d, %d)", v, res.PrimeCount, res.PrimeSum, wantN, wantS)
+		}
+		if res.Elapsed <= 0 {
+			t.Errorf("%s: elapsed = %v", v, res.Elapsed)
+		}
+	}
+}
+
+func TestVariantsAcrossFilterCounts(t *testing.T) {
+	wantN, wantS := Checksum(Reference(int32(200_000)))
+	for _, filters := range []int{1, 3, 7} {
+		for _, v := range []Variant{PipeRMI, FarmMPP, FarmDRMI} {
+			res, err := Run(v, smallParams(filters))
+			if err != nil {
+				t.Errorf("%s/%d: %v", v, filters, err)
+				continue
+			}
+			if res.PrimeCount != wantN || res.PrimeSum != wantS {
+				t.Errorf("%s/%d: wrong primes (%d, %d)", v, filters, res.PrimeCount, res.PrimeSum)
+			}
+		}
+	}
+}
+
+func TestRunsAreDeterministic(t *testing.T) {
+	p := smallParams(5)
+	for _, v := range []Variant{FarmRMI, PipeRMI, FarmMPP} {
+		a, err := Run(v, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(v, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Elapsed != b.Elapsed || a.Comm != b.Comm {
+			t.Errorf("%s: runs diverge: %v/%v vs %v/%v", v, a.Elapsed, a.Comm, b.Elapsed, b.Comm)
+		}
+	}
+}
+
+func TestFigure17Shape(t *testing.T) {
+	// The qualitative claims of Figure 17 on a reduced workload.
+	p := smallParams(6)
+
+	seq, err := Run(Seq, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	threads, err := Run(FarmThreads, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := Run(PipeRMI, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	farmRMI, err := Run(FarmRMI, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	farmMPP, err := Run(FarmMPP, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if threads.Elapsed >= seq.Elapsed {
+		t.Errorf("FarmThreads (%v) should beat sequential (%v)", threads.Elapsed, seq.Elapsed)
+	}
+	if farmRMI.Elapsed >= pipe.Elapsed {
+		t.Errorf("farm (%v) should beat pipeline (%v)", farmRMI.Elapsed, pipe.Elapsed)
+	}
+	if farmMPP.Elapsed >= farmRMI.Elapsed {
+		t.Errorf("MPP (%v) should beat RMI (%v)", farmMPP.Elapsed, farmRMI.Elapsed)
+	}
+
+	// FarmThreads flattens beyond the 4 hardware contexts of one machine.
+	t4, err := Run(FarmThreads, smallParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t16, err := Run(FarmThreads, smallParams(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	improvement := float64(t4.Elapsed-t16.Elapsed) / float64(t4.Elapsed)
+	if improvement > 0.25 {
+		t.Errorf("FarmThreads should flatten after 4 filters: 4->%v, 16->%v", t4.Elapsed, t16.Elapsed)
+	}
+}
+
+func TestFigure16Overhead(t *testing.T) {
+	// Woven vs hand-coded pipeline RMI: the aspect overhead must stay well
+	// under the paper's 5% bound.
+	p := smallParams(6)
+	hand, err := Run(HandPipeRMI, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	woven, err := Run(PipeRMI, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hand.PrimeCount != woven.PrimeCount || hand.PrimeSum != woven.PrimeSum {
+		t.Errorf("baseline and woven disagree on primes")
+	}
+	gap := float64(woven.Elapsed-hand.Elapsed) / float64(hand.Elapsed)
+	if gap < 0 {
+		t.Errorf("woven (%v) faster than hand-coded (%v): cost model inconsistency", woven.Elapsed, hand.Elapsed)
+	}
+	if gap > 0.05 {
+		t.Errorf("aspect overhead %.2f%% exceeds the paper's 5%% bound (hand %v, woven %v)",
+			gap*100, hand.Elapsed, woven.Elapsed)
+	}
+}
+
+func TestCommStatsPopulated(t *testing.T) {
+	res, err := Run(FarmRMI, smallParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Comm.Messages == 0 || res.Comm.Bytes == 0 {
+		t.Errorf("comm stats empty: %+v", res.Comm)
+	}
+	if res.Spawned == 0 {
+		t.Error("concurrency should have spawned activities")
+	}
+	seq, err := Run(Seq, smallParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Comm.Messages != 0 || seq.Spawned != 0 {
+		t.Errorf("sequential run should have no comm/spawns: %+v", seq)
+	}
+}
+
+func TestTable1Rows(t *testing.T) {
+	for _, v := range Variants() {
+		pa, co, di := Table1Row(v)
+		if pa == "?" || co == "?" || di == "?" {
+			t.Errorf("Table1Row(%s) incomplete", v)
+		}
+	}
+	if pa, _, _ := Table1Row(Variant("bogus")); pa != "?" {
+		t.Error("unknown variant should render ?")
+	}
+}
+
+func TestUnknownVariantFails(t *testing.T) {
+	if _, err := Run(Variant("bogus"), smallParams(2)); err == nil {
+		t.Error("unknown variant should fail")
+	}
+}

@@ -1,0 +1,455 @@
+package sieve
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"aspectpar/internal/aspect"
+	"aspectpar/internal/cluster"
+	"aspectpar/internal/exec"
+	"aspectpar/internal/par"
+	"aspectpar/internal/sim"
+)
+
+// Variant names one module combination — the rows of the paper's Table 1,
+// plus the sequential core and the hand-coded Figure 16 baseline.
+type Variant string
+
+// The tested module combinations.
+const (
+	// Seq is the unwoven sequential core (no modules plugged).
+	Seq Variant = "Seq"
+	// FarmThreads: farm partition + concurrency, no distribution — the
+	// shared-memory version, limited to one machine.
+	FarmThreads Variant = "FarmThreads"
+	// PipeRMI: pipeline partition + concurrency + RMI distribution.
+	PipeRMI Variant = "PipeRMI"
+	// FarmRMI: farm partition + concurrency + RMI distribution.
+	FarmRMI Variant = "FarmRMI"
+	// FarmDRMI: dynamic farm (partition and concurrency merged) + RMI.
+	FarmDRMI Variant = "FarmDRMI"
+	// FarmMPP: farm partition + concurrency + MPP distribution.
+	FarmMPP Variant = "FarmMPP"
+	// HandPipeRMI is the hand-coded pipeline-RMI baseline of Figure 16:
+	// the same computation and communication with parallelisation code
+	// tangled into the application (no weaver, no aspects).
+	HandPipeRMI Variant = "HandPipeRMI"
+)
+
+// Variants lists the Table 1 combinations in the paper's order.
+func Variants() []Variant {
+	return []Variant{FarmThreads, PipeRMI, FarmRMI, FarmDRMI, FarmMPP}
+}
+
+// Table1Row describes one variant in the paper's Table 1 columns.
+func Table1Row(v Variant) (partition, concurrency, distribution string) {
+	switch v {
+	case FarmThreads:
+		return "Farm", "Yes", "No"
+	case PipeRMI:
+		return "Pipeline", "Yes", "RMI"
+	case FarmRMI:
+		return "Farm", "Yes", "RMI"
+	case FarmDRMI:
+		return "Dynamic Farm", "(merged)", "RMI"
+	case FarmMPP:
+		return "Farm", "Yes", "MPP"
+	case Seq:
+		return "-", "-", "-"
+	case HandPipeRMI:
+		return "Pipeline (hand-coded)", "hand-coded", "RMI (hand-coded)"
+	default:
+		return "?", "?", "?"
+	}
+}
+
+// DefaultNsPerOp is the virtual cost of one trial division, calibrated so
+// the sequential sieve at the paper's parameters (max prime 10,000,000,
+// 281,802,948 trial divisions) takes ≈6.3 s — the paper's single-filter
+// execution time on a 3.2 GHz Xeon running Java 1.5.
+const DefaultNsPerOp = 22.4
+
+// DefaultDispatchOverhead is the per-joinpoint cost charged by the metering
+// aspect in woven runs: the measured steady-state cost of one weaver
+// dispatch (chain cache hit + advice calls), standing in for AspectJ's
+// non-inlined advice methods. The hand-coded baseline does not pay it;
+// Figure 16 compares the two.
+const DefaultDispatchOverhead = 1 * time.Microsecond
+
+// Params configures one sieve experiment.
+type Params struct {
+	// Max is the largest candidate number (the paper: 10,000,000).
+	Max int32
+	// Packs is the number of messages the candidate list is split into
+	// (the paper: 50 messages of 100,000 odd numbers).
+	Packs int
+	// Filters is the number of pipeline elements / farm workers.
+	Filters int
+	// NsPerOp is the virtual cost per trial division; zero selects
+	// DefaultNsPerOp.
+	NsPerOp float64
+	// DispatchOverhead is the per-joinpoint weaving cost; negative
+	// disables, zero selects DefaultDispatchOverhead for woven variants.
+	DispatchOverhead time.Duration
+	// Cluster overrides the simulated testbed; zero value selects the
+	// paper's 7-node configuration.
+	Cluster cluster.Config
+	// PackingDegree, when > 1, plugs the communication-packing optimisation
+	// aspect: that many packs merge into one message (ablation B).
+	PackingDegree int
+	// Skew, when > 1, makes every Filters-th pack Skew times larger than
+	// the others — the load imbalance that separates the dynamic from the
+	// static farm (ablation C).
+	Skew float64
+}
+
+// PaperParams returns the evaluation parameters of Section 6.
+func PaperParams(filters int) Params {
+	return Params{Max: 10_000_000, Packs: 50, Filters: filters}
+}
+
+func (p Params) withDefaults() Params {
+	if p.NsPerOp == 0 {
+		p.NsPerOp = DefaultNsPerOp
+	}
+	if p.DispatchOverhead == 0 {
+		p.DispatchOverhead = DefaultDispatchOverhead
+	}
+	if p.DispatchOverhead < 0 {
+		p.DispatchOverhead = 0
+	}
+	if p.Cluster.Machines == 0 {
+		p.Cluster = cluster.PaperTestbed()
+	}
+	if p.Packs <= 0 {
+		p.Packs = 1
+	}
+	return p
+}
+
+// Result is the outcome of one sieve run.
+type Result struct {
+	Variant Variant
+	Filters int
+	// Elapsed is the virtual execution time on the simulated testbed.
+	Elapsed time.Duration
+	// PrimeCount and PrimeSum checksum the computed primes.
+	PrimeCount int
+	PrimeSum   uint64
+	// Comm aggregates middleware traffic (zero for local variants).
+	Comm par.CommStats
+	// Spawned counts asynchronous activities launched by the concurrency
+	// module (zero when the module is not plugged).
+	Spawned int64
+}
+
+// Run executes one variant and returns its result. Every run builds a fresh
+// domain, weaver, module stack and simulated cluster, so runs are
+// independent and deterministic.
+func Run(v Variant, p Params) (Result, error) {
+	p = p.withDefaults()
+	if v == HandPipeRMI {
+		return runHandCoded(p)
+	}
+	return runWoven(v, p)
+}
+
+// defineClass registers PrimeFilter on a fresh domain: the bodies delegate
+// to the sequential core, the call sites route through the weaver.
+func defineClass(dom *par.Domain) *par.Class {
+	return dom.Define("PrimeFilter",
+		func(args []any) (any, error) {
+			return NewPrimeFilter(args[0].(int32), args[1].(int32))
+		},
+		map[string]par.MethodBody{
+			"Filter": func(target any, args []any) ([]any, error) {
+				return []any{target.(*PrimeFilter).Filter(args[0].([]int32))}, nil
+			},
+			"Seeds": func(target any, args []any) ([]any, error) {
+				return []any{target.(*PrimeFilter).Seeds()}, nil
+			},
+			"Accepted": func(target any, args []any) ([]any, error) {
+				return []any{target.(*PrimeFilter).Accepted()}, nil
+			},
+		})
+}
+
+// splitPacks divides the candidate list argument into p.Packs packs — the
+// paper's method-call split. skew > 1 makes every period-th pack skew times
+// larger (for the load-imbalance ablation); skew ≤ 1 gives equal packs.
+func splitPacks(packs int, skew float64, period int) func(args []any) [][]any {
+	return func(args []any) [][]any {
+		data := args[0].([]int32)
+		if len(data) == 0 {
+			return nil
+		}
+		if packs > len(data) {
+			packs = len(data)
+		}
+		// Pack weights: uniform, or period-spaced heavy packs.
+		weights := make([]float64, packs)
+		total := 0.0
+		for i := range weights {
+			weights[i] = 1
+			if skew > 1 && period > 0 && i%period == 0 {
+				weights[i] = skew
+			}
+			total += weights[i]
+		}
+		out := make([][]any, 0, packs)
+		start := 0
+		acc := 0.0
+		for i := 0; i < packs; i++ {
+			acc += weights[i]
+			end := int(acc / total * float64(len(data)))
+			if i == packs-1 {
+				end = len(data)
+			}
+			if end <= start {
+				continue
+			}
+			out = append(out, []any{data[start:end:end]})
+			start = end
+		}
+		return out
+	}
+}
+
+// stageRanges divides the seed primes of [2,sqrtMax] into count contiguous
+// ranges with balanced prime counts — the partition aspect pre-calculates
+// the primes up to √max and distributes them over the pipeline elements.
+func stageRanges(sqrtMax int32, count int) [][2]int32 {
+	seeds := Reference(sqrtMax)
+	ranges := make([][2]int32, count)
+	per := (len(seeds) + count - 1) / count
+	lo := int32(2)
+	for i := 0; i < count; i++ {
+		hiIdx := (i + 1) * per
+		var hi int32
+		if hiIdx >= len(seeds) || i == count-1 {
+			hi = sqrtMax
+		} else {
+			hi = seeds[hiIdx-1]
+		}
+		if hi < lo {
+			hi = lo
+		}
+		ranges[i] = [2]int32{lo, hi}
+		lo = hi + 1
+		if lo > sqrtMax {
+			lo = sqrtMax + 1
+		}
+	}
+	// The last range must always reach sqrtMax.
+	ranges[count-1][1] = sqrtMax
+	return ranges
+}
+
+type wiring struct {
+	dom   *par.Domain
+	class *par.Class
+	stack *par.Stack
+	cl    *cluster.Cluster
+
+	pipe    *par.Pipeline
+	farm    *par.Farm
+	conc    *par.Concurrency
+	dist    *par.Distribution
+	packing *par.Packing
+}
+
+// build wires the module combination for a variant.
+func build(v Variant, p Params) (*wiring, error) {
+	w := &wiring{dom: par.NewDomain()}
+	w.class = defineClass(w.dom)
+	w.cl = cluster.New(sim.NewEngine(), p.Cluster)
+
+	callFilter := aspect.Call("PrimeFilter", "Filter")
+	callAny := aspect.Call("PrimeFilter", "*")
+	newPF := aspect.New("PrimeFilter")
+
+	var mods []par.Module
+	sqrtMax := ISqrt(p.Max)
+
+	switch v {
+	case Seq:
+		// no partition, no concurrency, no distribution
+
+	case PipeRMI:
+		ranges := stageRanges(sqrtMax, p.Filters)
+		w.pipe = par.NewPipeline(par.PipelineConfig{
+			Class:  w.class,
+			Method: "Filter",
+			Stages: p.Filters,
+			StageArgs: func(orig []any, stage int) []any {
+				return []any{ranges[stage][0], ranges[stage][1]}
+			},
+			Split: splitPacks(p.Packs, p.Skew, p.Filters),
+			Forward: func(stage int, results []any, args []any) []any {
+				if len(results) == 0 {
+					return nil
+				}
+				survivors, _ := results[0].([]int32)
+				if len(survivors) == 0 {
+					return nil
+				}
+				return []any{survivors}
+			},
+		})
+		w.conc = par.NewConcurrency(callFilter)
+		w.dist = par.NewDistribution(w.dom, newPF, callAny, par.NewSimRMI(w.cl), workerPlacement(p))
+		mods = append(mods, w.pipe, w.conc, w.dist)
+
+	case FarmThreads, FarmRMI, FarmMPP, FarmDRMI:
+		w.farm = par.NewFarm(par.FarmConfig{
+			Class:   w.class,
+			Method:  "Filter",
+			Workers: p.Filters,
+			Split:   splitPacks(p.Packs, p.Skew, p.Filters),
+			Dynamic: v == FarmDRMI,
+		})
+		mods = append(mods, w.farm)
+		if v != FarmDRMI {
+			w.conc = par.NewConcurrency(callFilter)
+			mods = append(mods, w.conc)
+		}
+		switch v {
+		case FarmRMI, FarmDRMI:
+			w.dist = par.NewDistribution(w.dom, newPF, callAny, par.NewSimRMI(w.cl), workerPlacement(p))
+			mods = append(mods, w.dist)
+		case FarmMPP:
+			w.dist = par.NewDistribution(w.dom, newPF, callAny, par.NewSimMPP(w.cl, "Filter"), workerPlacement(p))
+			mods = append(mods, w.dist)
+		}
+
+	default:
+		return nil, fmt.Errorf("sieve: unknown variant %q", v)
+	}
+
+	if p.PackingDegree > 1 && v != Seq {
+		w.packing = par.NewPacking(w.class, "Filter", p.PackingDegree)
+		mods = append(mods, w.packing)
+	}
+
+	overhead := p.DispatchOverhead
+	if v == Seq {
+		overhead = 0 // nothing is woven around the plain core
+	}
+	meter := par.NewMetering(aspect.Or(callAny, newPF), p.NsPerOp, overhead)
+	mods = append(mods, meter)
+	w.stack = par.NewStack(w.dom, mods...)
+	return w, nil
+}
+
+// workerPlacement spreads filters round-robin over the worker nodes
+// (everything but node 0, where Main runs); a single-machine cluster keeps
+// them all on node 0.
+func workerPlacement(p Params) par.Placement {
+	if p.Cluster.Machines <= 1 {
+		return par.SingleNode(0)
+	}
+	return par.RoundRobin(1, p.Cluster.Machines-1)
+}
+
+func runWoven(v Variant, p Params) (Result, error) {
+	w, err := build(v, p)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Variant: v, Filters: p.Filters}
+	sqrtMax := ISqrt(p.Max)
+
+	runErr := w.cl.Run(func(ctx exec.Context) {
+		// --- The paper's core main, verbatim structure -------------------
+		list := Candidates(sqrtMax, p.Max)
+		pf, err := w.class.New(ctx, int32(2), sqrtMax)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := w.class.Call(ctx, pf, "Filter", list); err != nil {
+			panic(err)
+		}
+		// --- End of core main; join and gather ---------------------------
+		if w.packing != nil {
+			if err := w.packing.Flush(ctx); err != nil {
+				panic(err)
+			}
+		}
+		if err := w.stack.Join(ctx); err != nil {
+			panic(err)
+		}
+		primes, err := gather(ctx, w, v, pf)
+		if err != nil {
+			panic(err)
+		}
+		res.PrimeCount, res.PrimeSum = Checksum(primes)
+	})
+	if runErr != nil {
+		return Result{}, fmt.Errorf("sieve: %s run failed: %w", v, runErr)
+	}
+	res.Elapsed = w.cl.Elapsed()
+	if w.dist != nil {
+		res.Comm = w.dist.Middleware().Stats()
+	}
+	if w.conc != nil {
+		res.Spawned = w.conc.Spawned()
+	}
+	return res, nil
+}
+
+// gather collects the primes: the seed primes plus the accepted survivors
+// of the terminal object(s). The collection calls are woven, so with
+// distribution plugged they travel over the middleware like any other call.
+func gather(ctx exec.Context, w *wiring, v Variant, pf any) ([]int32, error) {
+	var primes []int32
+	take := func(res []any, err error) error {
+		if err != nil {
+			return err
+		}
+		for _, r := range res {
+			if r == nil {
+				continue
+			}
+			primes = append(primes, r.([]int32)...)
+		}
+		return nil
+	}
+	switch {
+	case w.pipe != nil:
+		// Every stage owns a disjoint seed range; survivors of the last
+		// stage passed every seed.
+		if err := take(w.pipe.Collect(ctx, "Seeds")); err != nil {
+			return nil, err
+		}
+		stages := w.pipe.Managed()
+		last := stages[len(stages)-1]
+		marks := map[string]any{par.MarkInternal: true, par.MarkNoAsync: true}
+		res, err := w.class.CallMarked(ctx, marks, last, "Accepted")
+		if err := take(res, err); err != nil {
+			return nil, err
+		}
+	case w.farm != nil:
+		// Replicated seeds: take one copy; survivors from every worker.
+		workers := w.farm.Managed()
+		marks := map[string]any{par.MarkInternal: true, par.MarkNoAsync: true}
+		res, err := w.class.CallMarked(ctx, marks, workers[0], "Seeds")
+		if err := take(res, err); err != nil {
+			return nil, err
+		}
+		if err := take(w.farm.Collect(ctx, "Accepted")); err != nil {
+			return nil, err
+		}
+	default: // sequential
+		res, err := w.class.Call(ctx, pf, "Seeds")
+		if err := take(res, err); err != nil {
+			return nil, err
+		}
+		res, err = w.class.Call(ctx, pf, "Accepted")
+		if err := take(res, err); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(primes, func(i, j int) bool { return primes[i] < primes[j] })
+	return primes, nil
+}

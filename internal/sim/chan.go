@@ -1,0 +1,143 @@
+package sim
+
+import "fmt"
+
+// Chan is a FIFO message queue between simulated processes with Go channel
+// semantics: optional buffering, rendezvous at capacity zero, Close
+// releasing blocked receivers. Create with Engine.NewChan.
+type Chan struct {
+	eng      *Engine
+	capacity int
+	buf      []any
+	closed   bool
+
+	recvWait []*chanRecv
+	sendWait []*chanSend
+}
+
+type chanRecv struct {
+	p         *Proc
+	val       any
+	ok        bool
+	delivered bool
+}
+
+type chanSend struct {
+	p        *Proc
+	val      any
+	accepted bool
+}
+
+// NewChan returns a channel with the given buffer capacity (0 = rendezvous).
+func (e *Engine) NewChan(capacity int) *Chan {
+	if capacity < 0 {
+		panic(fmt.Sprintf("sim: channel capacity %d", capacity))
+	}
+	return &Chan{eng: e, capacity: capacity}
+}
+
+// Len reports the number of buffered values.
+func (c *Chan) Len() int { return len(c.buf) }
+
+// Closed reports whether Close has been called.
+func (c *Chan) Closed() bool { return c.closed }
+
+// Send enqueues v. It blocks while the buffer is full, or until a receiver
+// arrives for capacity 0. Sending on a closed channel panics (also when the
+// channel is closed while the sender is parked, matching Go).
+func (c *Chan) Send(p *Proc, v any) {
+	if c.closed {
+		panic(fmt.Sprintf("sim: send on closed channel by %q", p.name))
+	}
+	// Hand directly to a parked receiver (buffer is necessarily empty when
+	// receivers are parked).
+	if len(c.recvWait) > 0 {
+		r := c.recvWait[0]
+		c.recvWait = c.recvWait[1:]
+		r.val, r.ok, r.delivered = v, true, true
+		c.eng.wakeAt(r.p)
+		return
+	}
+	if len(c.buf) < c.capacity {
+		c.buf = append(c.buf, v)
+		return
+	}
+	s := &chanSend{p: p, val: v}
+	c.sendWait = append(c.sendWait, s)
+	p.block("chan send")
+	if !s.accepted {
+		panic(fmt.Sprintf("sim: send on closed channel by %q", p.name))
+	}
+}
+
+// Recv dequeues the next value, parking the process when nothing is
+// available; ok is false when the channel is closed and drained.
+func (c *Chan) Recv(p *Proc) (v any, ok bool) {
+	if v, ok, ready := c.tryRecvLocked(); ready {
+		return v, ok
+	}
+	r := &chanRecv{p: p}
+	c.recvWait = append(c.recvWait, r)
+	p.block("chan recv")
+	if !r.delivered {
+		return nil, false // woken by Close
+	}
+	return r.val, r.ok
+}
+
+// TryRecv dequeues without blocking; ok is false when nothing is available
+// or the channel is closed and drained. Use Recv to distinguish the cases.
+func (c *Chan) TryRecv() (v any, ok bool) {
+	v, ok, ready := c.tryRecvLocked()
+	if !ready {
+		return nil, false
+	}
+	return v, ok
+}
+
+// tryRecvLocked attempts a non-blocking receive; ready reports whether a
+// definitive answer exists (value, or closed-and-drained).
+func (c *Chan) tryRecvLocked() (v any, ok, ready bool) {
+	if len(c.buf) > 0 {
+		v = c.buf[0]
+		c.buf = c.buf[1:]
+		// Refill the freed slot from a parked sender.
+		if len(c.sendWait) > 0 {
+			s := c.sendWait[0]
+			c.sendWait = c.sendWait[1:]
+			c.buf = append(c.buf, s.val)
+			s.accepted = true
+			c.eng.wakeAt(s.p)
+		}
+		return v, true, true
+	}
+	if len(c.sendWait) > 0 { // rendezvous
+		s := c.sendWait[0]
+		c.sendWait = c.sendWait[1:]
+		s.accepted = true
+		c.eng.wakeAt(s.p)
+		return s.val, true, true
+	}
+	if c.closed {
+		return nil, false, true
+	}
+	return nil, false, false
+}
+
+// Close marks the channel closed. Parked receivers wake with ok=false;
+// parked senders wake and panic, matching Go semantics. Closing twice
+// panics.
+func (c *Chan) Close() {
+	if c.closed {
+		panic("sim: close of closed channel")
+	}
+	c.closed = true
+	for _, r := range c.recvWait {
+		c.eng.wakeAt(r.p) // delivered stays false -> (nil, false)
+	}
+	c.recvWait = nil
+	for _, s := range c.sendWait {
+		c.eng.wakeAt(s.p) // accepted stays false -> panic in Send
+	}
+	c.sendWait = nil
+}

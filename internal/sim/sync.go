@@ -1,0 +1,157 @@
+package sim
+
+import "fmt"
+
+// Mutex is a mutual-exclusion lock with FIFO handoff between simulated
+// processes. The zero value is not usable; create with Engine.NewMutex.
+type Mutex struct {
+	eng     *Engine
+	owner   *Proc
+	waiters []*Proc
+}
+
+// NewMutex returns an unlocked mutex.
+func (e *Engine) NewMutex() *Mutex { return &Mutex{eng: e} }
+
+// Lock acquires the mutex, parking the process until available. Recursive
+// locking deadlocks the process, as with sync.Mutex.
+func (m *Mutex) Lock(p *Proc) {
+	if m.owner == nil {
+		m.owner = p
+		return
+	}
+	m.waiters = append(m.waiters, p)
+	p.block("mutex")
+}
+
+// Unlock releases the mutex, handing it to the longest-waiting process.
+// Unlocking a mutex not held by p panics.
+func (m *Mutex) Unlock(p *Proc) {
+	if m.owner != p {
+		panic(fmt.Sprintf("sim: %q unlocks mutex owned by %v", p.name, ownerName(m.owner)))
+	}
+	if len(m.waiters) == 0 {
+		m.owner = nil
+		return
+	}
+	next := m.waiters[0]
+	m.waiters = m.waiters[1:]
+	m.owner = next // direct handoff keeps FIFO fairness and determinism
+	m.eng.wakeAt(next)
+}
+
+func ownerName(p *Proc) string {
+	if p == nil {
+		return "nobody"
+	}
+	return p.name
+}
+
+// Resource is a counted resource (a semaphore) with FIFO granting — used to
+// model a machine's hardware contexts. Waiters are served strictly in
+// arrival order: a large request at the head blocks later small ones, which
+// models CPU-queue fairness and keeps runs deterministic.
+type Resource struct {
+	eng      *Engine
+	capacity int
+	inUse    int
+	waiters  []resWaiter
+}
+
+type resWaiter struct {
+	p *Proc
+	n int
+}
+
+// NewResource returns a resource with the given capacity.
+func (e *Engine) NewResource(capacity int) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: resource capacity %d", capacity))
+	}
+	return &Resource{eng: e, capacity: capacity}
+}
+
+// Capacity returns the total capacity.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the currently acquired amount.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Acquire obtains n units, parking the process until they are available.
+// Acquiring more than the capacity panics (it could never succeed).
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n <= 0 || n > r.capacity {
+		panic(fmt.Sprintf("sim: acquire %d of capacity %d", n, r.capacity))
+	}
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.inUse += n
+		return
+	}
+	r.waiters = append(r.waiters, resWaiter{p: p, n: n})
+	p.block("resource")
+}
+
+// Release returns n units and grants queued waiters in FIFO order.
+func (r *Resource) Release(n int) {
+	if n <= 0 || n > r.inUse {
+		panic(fmt.Sprintf("sim: release %d with %d in use", n, r.inUse))
+	}
+	r.inUse -= n
+	for len(r.waiters) > 0 && r.inUse+r.waiters[0].n <= r.capacity {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.inUse += w.n
+		r.eng.wakeAt(w.p)
+	}
+}
+
+// Use acquires n units, runs fn, and releases them. It is the common pattern
+// for charging compute time on a machine.
+func (r *Resource) Use(p *Proc, n int, fn func()) {
+	r.Acquire(p, n)
+	defer r.Release(n)
+	fn()
+}
+
+// WaitGroup counts outstanding activities, as sync.WaitGroup does.
+type WaitGroup struct {
+	eng     *Engine
+	count   int
+	waiters []*Proc
+}
+
+// NewWaitGroup returns a wait group with zero count.
+func (e *Engine) NewWaitGroup() *WaitGroup { return &WaitGroup{eng: e} }
+
+// Add adjusts the counter; going negative panics.
+func (w *WaitGroup) Add(n int) {
+	w.count += n
+	if w.count < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if w.count == 0 {
+		w.release()
+	}
+}
+
+// Done decrements the counter.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Count returns the current counter value.
+func (w *WaitGroup) Count() int { return w.count }
+
+// Wait parks the process until the counter reaches zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	if w.count == 0 {
+		return
+	}
+	w.waiters = append(w.waiters, p)
+	p.block("waitgroup")
+}
+
+func (w *WaitGroup) release() {
+	for _, p := range w.waiters {
+		w.eng.wakeAt(p)
+	}
+	w.waiters = nil
+}
