@@ -67,6 +67,10 @@ func BenchmarkFig17_FarmRMI_16(b *testing.B)     { runVariant(b, sieve.FarmRMI, 
 func BenchmarkFig17_FarmDRMI_16(b *testing.B)    { runVariant(b, sieve.FarmDRMI, benchParams(16)) }
 func BenchmarkFig17_FarmMPP_4(b *testing.B)      { runVariant(b, sieve.FarmMPP, benchParams(4)) }
 func BenchmarkFig17_FarmMPP_16(b *testing.B)     { runVariant(b, sieve.FarmMPP, benchParams(16)) }
+func BenchmarkFig17_FarmStealing_4(b *testing.B) { runVariant(b, sieve.FarmStealing, benchParams(4)) }
+func BenchmarkFig17_FarmStealing_16(b *testing.B) {
+	runVariant(b, sieve.FarmStealing, benchParams(16))
+}
 
 // --- Ablation B: communication packing on FarmMPP ---------------------------
 
@@ -77,18 +81,24 @@ func BenchmarkPacking_5to1(b *testing.B) {
 	runVariant(b, sieve.FarmMPP, p)
 }
 
-// --- Ablation C: static versus dynamic farm under load imbalance ------------
+// --- Ablation C: farm scheduling disciplines under load imbalance -----------
+//
+// The skewed-pack workload is where static assignment hits the paper's
+// scalability wall; compare virtual_ms/op across the three schedules — the
+// stealing farm must post the lowest number.
 
-func BenchmarkImbalance_StaticFarm(b *testing.B) {
-	p := benchParams(8)
+func skewParams(filters int) sieve.Params {
+	p := benchParams(filters)
 	p.Skew = 8
-	runVariant(b, sieve.FarmRMI, p)
+	return p
 }
 
-func BenchmarkImbalance_DynamicFarm(b *testing.B) {
-	p := benchParams(8)
-	p.Skew = 8
-	runVariant(b, sieve.FarmDRMI, p)
+func BenchmarkImbalance_StaticFarm(b *testing.B) { runVariant(b, sieve.FarmRMI, skewParams(8)) }
+
+func BenchmarkImbalance_DynamicFarm(b *testing.B) { runVariant(b, sieve.FarmDRMI, skewParams(8)) }
+
+func BenchmarkImbalance_StealingFarm(b *testing.B) {
+	runVariant(b, sieve.FarmStealing, skewParams(8))
 }
 
 // --- Concern-reuse applications ----------------------------------------------

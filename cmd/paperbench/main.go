@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	paperbench [-exp table1|fig16|fig17|packing|imbalance|all]
+//	paperbench [-exp table1|fig16|fig17|packing|imbalance|schedule|all]
 //	           [-max N] [-packs N] [-runs N] [-filters 1,4,7,10,13,16]
+//	           [-skew F]
 //
 // The defaults are the paper's parameters: maximum prime 10,000,000, 50
 // messages, filter counts 1..16, median of 5 runs.
@@ -23,11 +24,12 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1, fig16, fig17, packing, imbalance, all")
+		exp     = flag.String("exp", "all", "experiment: table1, fig16, fig17, packing, imbalance, schedule, all")
 		max     = flag.Int("max", 10_000_000, "largest candidate number")
 		packs   = flag.Int("packs", 50, "number of messages the candidate list splits into")
 		runs    = flag.Int("runs", 5, "runs per configuration (median reported)")
 		filters = flag.String("filters", "1,4,7,10,13,16", "comma-separated filter counts")
+		skew    = flag.Float64("skew", 8, "pack-size skew factor for the schedule sweep")
 	)
 	flag.Parse()
 
@@ -94,6 +96,17 @@ func main() {
 		return nil
 	})
 
+	run("schedule", func() error {
+		series, err := bench.ScheduleSweep(counts, *skew, *runs, params)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatTable(
+			fmt.Sprintf("Schedule sweep - farm scheduling disciplines under skew ×%.0f (Figure 17 + stealing column)", *skew), series))
+		fmt.Println(bench.FormatChart("Schedule sweep (chart)", series, 14))
+		return nil
+	})
+
 	run("imbalance", func() error {
 		f := counts[len(counts)-1]
 		series, err := bench.ImbalanceAblation(f, 8, *runs, params)
@@ -101,7 +114,7 @@ func main() {
 			return err
 		}
 		fmt.Println(bench.FormatTable(
-			fmt.Sprintf("Ablation C - static versus dynamic farm under load imbalance (%d filters, RMI)", f), series))
+			fmt.Sprintf("Ablation C - static versus dynamic versus stealing farm under load imbalance (%d filters, RMI)", f), series))
 		return nil
 	})
 }

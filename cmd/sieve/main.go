@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	sieve [-variant Seq|FarmThreads|PipeRMI|FarmRMI|FarmDRMI|FarmMPP|HandPipeRMI]
-//	      [-filters N] [-max N] [-packs N] [-verify]
+//	sieve [-variant Seq|FarmThreads|PipeRMI|FarmRMI|FarmDRMI|FarmMPP|FarmStealing|HandPipeRMI]
+//	      [-filters N] [-max N] [-packs N] [-skew F] [-verify]
 package main
 
 import (
@@ -23,6 +23,7 @@ func main() {
 		filters = flag.Int("filters", 7, "number of pipeline elements / farm workers")
 		max     = flag.Int("max", 10_000_000, "largest candidate number")
 		packs   = flag.Int("packs", 50, "number of messages")
+		skew    = flag.Float64("skew", 0, "make every filters-th pack this many times larger (load imbalance)")
 		verify  = flag.Bool("verify", false, "cross-check primes against a sequential sieve of Eratosthenes")
 	)
 	flag.Parse()
@@ -30,6 +31,7 @@ func main() {
 	p := sieve.PaperParams(*filters)
 	p.Max = int32(*max)
 	p.Packs = *packs
+	p.Skew = *skew
 
 	start := time.Now()
 	res, err := sieve.Run(sieve.Variant(*variant), p)
@@ -51,6 +53,10 @@ func main() {
 	}
 	if res.Spawned > 0 {
 		fmt.Printf("activities   : %d asynchronous calls\n", res.Spawned)
+	}
+	if res.Steals.Executed > 0 {
+		fmt.Printf("scheduler    : %d packs executed (%d seeded + %d splits), %d steals moved %d packs\n",
+			res.Steals.Executed, res.Steals.Seeded, res.Steals.Splits, res.Steals.Steals, res.Steals.Stolen)
 	}
 
 	if *verify {

@@ -1,0 +1,3 @@
+module aspectpar
+
+go 1.24

@@ -114,10 +114,40 @@ func PackingAblation(filters int, degrees []int, runs int, params func(filters i
 	return out, nil
 }
 
-// ImbalanceAblation compares the static and dynamic farms on balanced and
-// skewed pack sizes — the paper observed "only a small improvement since
-// there are not load imbalances in a normal farming strategy"; the skewed
-// workload shows where the dynamic farm pays off.
+// ScheduleSweep is the Figure-17 filter-count sweep restricted to the farm
+// family with the scheduling axis exposed: the static farm, the paper's
+// dynamic (self-scheduling) farm and the work-stealing adaptive farm, all
+// over RMI, on a skewed-pack workload. It shows where static assignment hits
+// the paper's scalability wall and what each adaptive schedule recovers.
+func ScheduleSweep(counts []int, skew float64, runs int, params func(filters int) sieve.Params) ([]Series, error) {
+	var out []Series
+	for _, cfg := range []struct {
+		name string
+		v    sieve.Variant
+	}{
+		{"FarmRMI (static)", sieve.FarmRMI},
+		{"FarmDRMI (dynamic)", sieve.FarmDRMI},
+		{"FarmStealing (stealing)", sieve.FarmStealing},
+	} {
+		s := Series{Name: cfg.name}
+		for _, f := range counts {
+			p := params(f)
+			p.Skew = skew
+			pt, err := runMedian(cfg.v, p, runs)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, pt)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// ImbalanceAblation compares the static, dynamic and stealing farms on
+// balanced and skewed pack sizes — the paper observed "only a small
+// improvement since there are not load imbalances in a normal farming
+// strategy"; the skewed workload shows where the adaptive schedules pay off.
 func ImbalanceAblation(filters int, skew float64, runs int, params func(filters int) sieve.Params) ([]Series, error) {
 	var out []Series
 	for _, cfg := range []struct {
@@ -127,8 +157,10 @@ func ImbalanceAblation(filters int, skew float64, runs int, params func(filters 
 	}{
 		{"FarmRMI balanced", sieve.FarmRMI, 0},
 		{"FarmDRMI balanced", sieve.FarmDRMI, 0},
+		{"FarmStealing balanced", sieve.FarmStealing, 0},
 		{fmt.Sprintf("FarmRMI skew ×%.0f", skew), sieve.FarmRMI, skew},
 		{fmt.Sprintf("FarmDRMI skew ×%.0f", skew), sieve.FarmDRMI, skew},
+		{fmt.Sprintf("FarmStealing skew ×%.0f", skew), sieve.FarmStealing, skew},
 	} {
 		p := params(filters)
 		p.Skew = cfg.skew

@@ -85,13 +85,40 @@ func TestImbalanceAblationReducedScale(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(series) != 4 {
+	if len(series) != 6 {
 		t.Fatalf("series = %d", len(series))
 	}
-	// Under skew the dynamic farm must not lose to the static farm.
-	static, dynamic := series[2].Points[0].Median, series[3].Points[0].Median
+	// Under skew neither adaptive schedule may lose to the static farm.
+	static, dynamic, stealing := series[3].Points[0].Median, series[4].Points[0].Median, series[5].Points[0].Median
 	if dynamic > static {
 		t.Errorf("dynamic (%v) slower than static (%v) under skew", dynamic, static)
+	}
+	if stealing > static {
+		t.Errorf("stealing (%v) slower than static (%v) under skew", stealing, static)
+	}
+}
+
+func TestScheduleSweepReducedScale(t *testing.T) {
+	series, err := ScheduleSweep([]int{2, 4}, 8, 1, tinyParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 2 {
+			t.Errorf("%s has %d points", s.Name, len(s.Points))
+		}
+	}
+	if !strings.Contains(series[2].Name, "stealing") {
+		t.Errorf("third series = %q, want the stealing column", series[2].Name)
+	}
+	// The stealing column must not lose to the static one at any filter count.
+	for i, pt := range series[2].Points {
+		if st := series[0].Points[i].Median; pt.Median > st {
+			t.Errorf("stealing (%v) slower than static (%v) at %d filters", pt.Median, st, pt.Filters)
+		}
 	}
 }
 

@@ -159,6 +159,10 @@ func (x *simCtx) Compute(d time.Duration) {
 
 func (x *simCtx) Sleep(d time.Duration) { x.p.Sleep(d) }
 
+// Yield implements exec.Yielder: reschedule at the current virtual instant
+// so co-located activities (steal victims) run before this process resumes.
+func (x *simCtx) Yield() { x.p.Yield() }
+
 func (x *simCtx) Now() time.Duration { return x.p.Now() }
 
 func (x *simCtx) Node() exec.NodeID { return x.node }

@@ -61,6 +61,30 @@ type Context interface {
 	NewChan(capacity int) Chan
 }
 
+// Yielder is an optional Context capability: an explicit, cheap processor
+// yield. Work-stealing schedulers use it in their idle protocol — an
+// out-of-work activity cedes the processor so a victim can make progress
+// (and expose stealable work) before the thief falls back to timed backoff.
+// Both shipped backends implement it: the real backend maps it to the Go
+// scheduler's yield, the simulated backend reschedules the process at the
+// current virtual instant behind already-queued events.
+type Yielder interface {
+	Yield()
+}
+
+// Yield cedes the processor to other runnable activities without advancing
+// the clock when the backend supports it, falling back to a zero-length
+// sleep otherwise. It never blocks indefinitely, so spinning on Yield alone
+// can still livelock a virtual-time run — idle loops must combine it with
+// timed backoff (see internal/par's steal scheduler).
+func Yield(ctx Context) {
+	if y, ok := ctx.(Yielder); ok {
+		y.Yield()
+		return
+	}
+	ctx.Sleep(0)
+}
+
 // Mutex is a lock. Lock and Unlock take the calling Context because the
 // simulated backend must know which process is blocking.
 type Mutex interface {

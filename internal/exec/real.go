@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"runtime"
 	"sync"
 	"time"
 )
@@ -34,6 +35,9 @@ func (c *realCtx) SpawnDaemonOn(node NodeID, name string, fn func(Context)) {
 }
 
 func (c *realCtx) Compute(d time.Duration) {}
+
+// Yield implements Yielder: hand the OS thread to another goroutine.
+func (c *realCtx) Yield() { runtime.Gosched() }
 
 func (c *realCtx) Sleep(d time.Duration) { time.Sleep(d) }
 

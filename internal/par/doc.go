@@ -4,12 +4,15 @@
 //
 // The four concern categories map to module families:
 //
-//   - Partition ([Pipeline], [Farm], [DynamicFarm], [Heartbeat]): object
-//     duplication (one core object becomes an aspect-managed set),
-//     method-call split (one call becomes several that can run in parallel)
-//     and call forwarding (pipeline propagation). These are the reusable
-//     "abstract aspects" of the paper's Figure 9, parameterised by functions
-//     instead of abstract pointcuts.
+//   - Partition ([Pipeline], [Farm], [Heartbeat]): object duplication (one
+//     core object becomes an aspect-managed set), method-call split (one
+//     call becomes several that can run in parallel) and call forwarding
+//     (pipeline propagation). These are the reusable "abstract aspects" of
+//     the paper's Figure 9, parameterised by functions instead of abstract
+//     pointcuts. [Farm] schedules its pieces three ways: static round-robin
+//     pre-assignment, the paper's dynamic self-scheduling
+//     ([FarmConfig].Dynamic), or the work-stealing adaptive scheduler
+//     ([FarmConfig].Stealing) described below.
 //   - Concurrency ([Concurrency]): asynchronous method invocation (a new
 //     activity per call, the paper's "new Thread") and synchronisation
 //     (per-object mutual exclusion), plus quiescence for joining.
@@ -36,4 +39,36 @@
 // the server serialises per-object access, pipeline forwarding happens where
 // the object lives, and the metering module (the simulation's cost account)
 // charges the computation to that node's hardware contexts.
+//
+// # Work-stealing adaptive scheduling
+//
+// The paper's farms assign packs statically (round-robin) or pull them one
+// at a time from a central queue (the dynamic farm). Both lose ground when
+// pack costs are heterogeneous: static assignment pins heavy packs to
+// whichever worker drew them, and central pulling serialises on the
+// dispatcher. The stealing farm ([FarmConfig].Stealing, scheduler.go)
+// replaces both with per-worker lock-protected deques and one worker
+// activity per replica:
+//
+//   - owners pop from the front of their own deque; idle workers scan the
+//     others round-robin and steal the back half of the first non-empty
+//     deque they find ([StealConfig] steal-half);
+//   - packs start coarse and split on demand: a steal request arriving at a
+//     victim with a single queued pack splits it in two, and an owner
+//     popping its last pack while another worker is hungry leaves a
+//     stealable half behind (lazy binary splitting), bounded below by
+//     StealConfig.MinSplit;
+//   - out-of-work workers follow an idle/backoff protocol — yield the
+//     processor first (exec.Yield: runtime.Gosched on the real backend, a
+//     same-instant reschedule under virtual time), then sleep with
+//     exponential backoff — so the same code neither burns a real CPU nor
+//     livelocks the discrete-event engine.
+//
+// Each successful steal charges StealConfig.StealOverhead of CPU to the
+// thief, so virtual-time runs account for the transaction cost. Under the
+// virtual-time backend the whole protocol is deterministic: victim selection
+// is a fixed scan order, backoff is seedless, and the engine orders
+// same-instant events FIFO. [Farm.StealStats] exposes the counters; the
+// accounting invariant Executed == Seeded + Splits ("no pack lost, no pack
+// filtered twice") is property-tested.
 package par

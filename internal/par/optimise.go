@@ -245,6 +245,20 @@ func singleInt32Payload(args []any) ([]int32, bool) {
 	return payload, ok
 }
 
+// splitInt32Payload is the inverse of packing's merge: it halves a call whose
+// single argument is an []int32 payload into two calls of at least min
+// elements each. The steal scheduler uses it as its default dynamic
+// pack-sizing rule; ok is false for other argument shapes or payloads too
+// small to split.
+func splitInt32Payload(args []any, min int) (a, b []any, ok bool) {
+	payload, ok := singleInt32Payload(args)
+	if !ok || len(payload) < 2*min {
+		return nil, nil, false
+	}
+	mid := len(payload) / 2
+	return []any{payload[:mid:mid]}, []any{payload[mid:]}, true
+}
+
 // Flush sends every partially filled buffer as a final merged call.
 func (p *Packing) Flush(ctx exec.Context) error {
 	p.mu.Lock()

@@ -239,27 +239,41 @@ type FarmConfig struct {
 	// module manages its own activities and the plain Concurrency module
 	// is not used with it.
 	Dynamic bool
+	// Stealing selects the work-stealing adaptive scheduler (scheduler.go):
+	// pieces are dealt into per-worker deques, idle workers steal half of a
+	// victim's queue, and a steal against a single hot pack splits it in
+	// two. Like Dynamic, the module manages its own activities, so the
+	// plain Concurrency module is not used with it. Dynamic and Stealing
+	// are mutually exclusive.
+	Stealing bool
+	// Steal tunes the work-stealing scheduler when Stealing is set; the
+	// zero value selects defaults (see StealConfig).
+	Steal StealConfig
 }
 
-// Farm is the farm partition module (static round-robin or dynamic
-// self-scheduling).
+// Farm is the farm partition module (static round-robin, dynamic
+// self-scheduling, or adaptive work-stealing).
 type Farm struct {
 	cfg FarmConfig
 	asp *aspect.Aspect
 
 	set managedSet
 
-	mu      sync.Mutex
-	rr      int
-	wg      exec.WaitGroup
-	pending int
-	errs    []error
+	mu         sync.Mutex
+	rr         int
+	wg         exec.WaitGroup
+	pending    int
+	errs       []error
+	stealTotal StealStats // folded from finished dispatch rounds (Stealing only)
 }
 
 // NewFarm builds the module.
 func NewFarm(cfg FarmConfig) *Farm {
 	if cfg.Class == nil || cfg.Method == "" || cfg.Workers <= 0 {
 		panic(fmt.Sprintf("par: invalid farm config %+v", cfg))
+	}
+	if cfg.Dynamic && cfg.Stealing {
+		panic("par: farm cannot be both Dynamic and Stealing")
 	}
 	f := &Farm{cfg: cfg}
 
@@ -269,6 +283,9 @@ func NewFarm(cfg FarmConfig) *Farm {
 	name := "farm"
 	if cfg.Dynamic {
 		name = "dynamic-farm"
+	}
+	if cfg.Stealing {
+		name = "stealing-farm"
 	}
 	f.asp = aspect.NewAspect(name, precPartition)
 
@@ -312,6 +329,9 @@ func NewFarm(cfg FarmConfig) *Farm {
 		if cfg.Dynamic {
 			return nil, f.dispatchDynamic(ctx, workers, parts)
 		}
+		if cfg.Stealing {
+			return nil, f.dispatchStealing(ctx, workers, parts)
+		}
 		marks := map[string]any{MarkInternal: true}
 		var errs []error
 		for _, part := range parts {
@@ -323,6 +343,18 @@ func NewFarm(cfg FarmConfig) *Farm {
 		return nil, errors.Join(errs...)
 	})
 	return f
+}
+
+// beginRound registers n worker activities of one self-scheduling dispatch
+// round with the farm's join bookkeeping.
+func (f *Farm) beginRound(ctx exec.Context, n int) {
+	f.mu.Lock()
+	if f.wg == nil {
+		f.wg = ctx.NewWaitGroup()
+	}
+	f.wg.Add(n)
+	f.pending += n
+	f.mu.Unlock()
 }
 
 func (f *Farm) nextWorker(n int) int {
@@ -343,13 +375,7 @@ func (f *Farm) dispatchDynamic(ctx exec.Context, workers []any, parts [][]any) e
 	}
 	queue.Close()
 	marks := map[string]any{MarkInternal: true, MarkNoAsync: true}
-	f.mu.Lock()
-	if f.wg == nil {
-		f.wg = ctx.NewWaitGroup()
-	}
-	f.wg.Add(len(workers))
-	f.pending += len(workers)
-	f.mu.Unlock()
+	f.beginRound(ctx, len(workers))
 	for i, w := range workers {
 		w := w
 		ctx.Spawn(fmt.Sprintf("farm-worker-%d", i), func(child exec.Context) {
@@ -370,6 +396,60 @@ func (f *Farm) dispatchDynamic(ctx exec.Context, workers []any, parts [][]any) e
 	return nil
 }
 
+// dispatchStealing implements the work-stealing adaptive schedule: the packs
+// of one call are dealt into per-worker deques and one worker activity per
+// replica drains its own deque, stealing (and splitting) from the others when
+// it runs dry. As in the dynamic farm, the per-pack calls run inline
+// (MarkNoAsync) — the worker activities are the concurrency — and worker i
+// executes everything it obtains on replica i, so stolen work migrates to
+// the idle replica (and, with distribution plugged, to its node).
+func (f *Farm) dispatchStealing(ctx exec.Context, workers []any, parts [][]any) error {
+	sched := newStealScheduler(f.cfg.Steal, len(workers))
+	sched.seed(parts)
+	marks := map[string]any{MarkInternal: true, MarkNoAsync: true}
+	f.beginRound(ctx, len(workers))
+	exited := 0 // workers of THIS round that finished (guarded by f.mu)
+	for i, w := range workers {
+		i, w := i, w
+		ctx.Spawn(fmt.Sprintf("steal-worker-%d", i), func(child exec.Context) {
+			defer f.workerDone()
+			for {
+				pk, ok := sched.next(child, i)
+				if !ok {
+					// The round's counters settle only once every worker
+					// is out of its loop; the last one folds them into
+					// the farm total and the scheduler (deques, pack
+					// payloads) becomes garbage.
+					f.mu.Lock()
+					exited++
+					if exited == len(workers) {
+						f.stealTotal.add(sched.stats())
+					}
+					f.mu.Unlock()
+					return
+				}
+				if _, err := f.cfg.Class.CallMarked(child, marks, w, f.cfg.Method, pk.args...); err != nil {
+					f.mu.Lock()
+					f.errs = append(f.errs, err)
+					f.mu.Unlock()
+				}
+				sched.finish()
+			}
+		})
+	}
+	return nil
+}
+
+// StealStats reports the work-stealing scheduler's counters, summed over
+// every finished dispatch round (zero unless the farm was built with
+// Stealing). Call it after Join for settled values — an in-flight round is
+// folded in when its last worker exits.
+func (f *Farm) StealStats() StealStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stealTotal
+}
+
 func (f *Farm) workerDone() {
 	f.mu.Lock()
 	f.pending--
@@ -380,10 +460,14 @@ func (f *Farm) workerDone() {
 
 // ModuleName implements Module.
 func (f *Farm) ModuleName() string {
-	if f.cfg.Dynamic {
+	switch {
+	case f.cfg.Dynamic:
 		return fmt.Sprintf("dynamic-farm(%d)", f.cfg.Workers)
+	case f.cfg.Stealing:
+		return fmt.Sprintf("stealing-farm(%d)", f.cfg.Workers)
+	default:
+		return fmt.Sprintf("farm(%d)", f.cfg.Workers)
 	}
-	return fmt.Sprintf("farm(%d)", f.cfg.Workers)
 }
 
 // Plug implements Module.
@@ -400,7 +484,8 @@ func (f *Farm) Collect(ctx exec.Context, method string) ([]any, error) {
 	return collect(ctx, f.cfg.Class, f.set.all(), method)
 }
 
-// Join implements Joiner (meaningful for the dynamic farm's dispatchers).
+// Join implements Joiner (meaningful for the dynamic farm's dispatchers and
+// the stealing farm's worker activities).
 func (f *Farm) Join(ctx exec.Context) error {
 	f.mu.Lock()
 	wg := f.wg

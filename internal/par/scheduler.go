@@ -1,0 +1,354 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aspectpar/internal/exec"
+)
+
+// This file implements the work-stealing adaptive scheduler behind the
+// stealing farm (FarmConfig.Stealing). The paper's static farms lose
+// scalability once pack costs are heterogeneous — a pre-assigned heavy pack
+// pins its worker while the others drain and idle. The scheduler replaces
+// static assignment with per-worker deques and three adaptive mechanisms:
+//
+//   - steal-half victim selection: an out-of-work worker scans the other
+//     deques (round-robin from its right neighbour, which keeps virtual-time
+//     runs deterministic) and transfers the back half of the first non-empty
+//     deque it finds;
+//   - dynamic pack sizing: packs start coarse and split lazily, and only
+//     under demand, in two places. Owner side, a worker popping the LAST
+//     pack of its own deque splits it — leaving one half queued and
+//     stealable — but only while at least one worker is hungry (mid steal
+//     scan or backing off empty-handed), so balanced runs never pay the
+//     extra per-pack dispatch/communication cost. Thief side, a steal
+//     request arriving at a victim with a single queued pack splits that
+//     hot pack and thief and victim take one half each. Granularity
+//     therefore refines exactly where and when imbalance appears, bounded
+//     below by MinSplit;
+//   - idle/backoff protocol: a worker that found nothing first yields the
+//     processor (exec.Yield — Gosched on the real backend, a same-instant
+//     reschedule under virtual time) and then sleeps with exponential
+//     backoff, so idling is cheap on real hardware and cannot livelock the
+//     discrete-event engine.
+//
+// The scheduler runs identically on both exec backends: it only uses
+// exec.Context operations (Spawn, Sleep, Compute) plus host-side locks that
+// are never held across a blocking call.
+
+// StealConfig tunes the work-stealing scheduler. The zero value selects
+// defaults suitable for pack payloads of a few thousand elements.
+type StealConfig struct {
+	// SplitPack divides one queued pack into two non-empty halves; it
+	// reports ok=false when the pack is too small to split. nil installs a
+	// splitter that halves a single []int32 payload argument (the shape of
+	// the paper's number packs) no smaller than MinSplit elements per half.
+	SplitPack func(args []any) (a, b []any, ok bool)
+	// MinSplit is the minimum payload elements per half for the default
+	// splitter; 0 selects 64.
+	MinSplit int
+	// StealOverhead is the virtual CPU time charged to the thief per
+	// successful steal transaction (locking the victim, moving ownership);
+	// 0 selects 2µs, negative disables the charge.
+	StealOverhead time.Duration
+	// MaxBackoff caps the idle worker's exponential backoff sleep; 0
+	// selects 64µs.
+	MaxBackoff time.Duration
+}
+
+func (c StealConfig) withDefaults() StealConfig {
+	if c.MinSplit <= 0 {
+		c.MinSplit = 64
+	}
+	if c.SplitPack == nil {
+		min := c.MinSplit
+		c.SplitPack = func(args []any) ([]any, []any, bool) {
+			return splitInt32Payload(args, min)
+		}
+	}
+	if c.StealOverhead == 0 {
+		c.StealOverhead = 2 * time.Microsecond
+	}
+	if c.StealOverhead < 0 {
+		c.StealOverhead = 0
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 64 * time.Microsecond
+	}
+	return c
+}
+
+// StealStats reports what the scheduler did during a run; the accounting
+// invariant Executed == Seeded + Splits ("no pack lost, none run twice") is
+// asserted by the property tests.
+type StealStats struct {
+	// Seeded is the number of packs handed to the scheduler by the split
+	// advice.
+	Seeded int64
+	// Executed is the number of packs run to completion (seeded + halves
+	// created by splits).
+	Executed int64
+	// Steals counts successful steal transactions.
+	Steals int64
+	// Stolen counts packs that changed owner through a steal.
+	Stolen int64
+	// Splits counts hot packs split in two by a steal request.
+	Splits int64
+	// FailedScans counts full victim scans that found nothing to steal.
+	FailedScans int64
+}
+
+// stealPack is one schedulable unit: the argument list of one
+// partition-generated call.
+type stealPack struct {
+	args []any
+}
+
+// stealDeque is one worker's pack queue. The owner pops from the front;
+// thieves take from the back, so owner and thieves contend only when the
+// deque is nearly empty. The mutex is a host lock: critical sections never
+// block, so under the cooperative virtual-time backend it never contends and
+// costs nothing, while under the real backend it is the required fence.
+type stealDeque struct {
+	mu    sync.Mutex
+	packs []stealPack
+}
+
+func (d *stealDeque) pushBack(pks ...stealPack) {
+	d.mu.Lock()
+	d.packs = append(d.packs, pks...)
+	d.mu.Unlock()
+}
+
+// stealScheduler coordinates one dispatch round: the deques, the outstanding
+// pack count that drives termination, and the statistics.
+type stealScheduler struct {
+	cfg    StealConfig
+	deques []*stealDeque
+
+	// remaining counts packs enqueued but not yet finished. Every pack
+	// increments it before it becomes visible (initial seeding, the new
+	// half of a split) and decrements it exactly once after execution, so
+	// remaining reaching zero means all work is done and is the workers'
+	// termination signal.
+	remaining atomic.Int64
+	// hungry counts workers currently out of local work — the steal-demand
+	// signal that arms owner-side splitting.
+	hungry atomic.Int64
+
+	seeded      atomic.Int64
+	executed    atomic.Int64
+	steals      atomic.Int64
+	stolen      atomic.Int64
+	splits      atomic.Int64
+	failedScans atomic.Int64
+}
+
+func newStealScheduler(cfg StealConfig, workers int) *stealScheduler {
+	s := &stealScheduler{cfg: cfg.withDefaults(), deques: make([]*stealDeque, workers)}
+	for i := range s.deques {
+		s.deques[i] = &stealDeque{}
+	}
+	return s
+}
+
+// seed distributes the initial packs round-robin over the worker deques.
+// Coarse initial packs are fine — splitting refines them on demand — except
+// that every worker should start with something: fewer packs than workers
+// would leave the surplus workers hungry before any owner has even popped,
+// so seed splits the coarse packs until each worker can be dealt one (or
+// nothing splits any further).
+func (s *stealScheduler) seed(parts [][]any) {
+	packs := make([]stealPack, len(parts))
+	for i, part := range parts {
+		packs[i] = stealPack{args: part}
+	}
+	s.remaining.Add(int64(len(packs)))
+	s.seeded.Add(int64(len(packs)))
+	for len(packs) > 0 && len(packs) < len(s.deques) {
+		grew := false
+		for i := 0; i < len(packs) && len(packs) < len(s.deques); i++ {
+			if a, b, ok := s.cfg.SplitPack(packs[i].args); ok {
+				packs[i] = stealPack{args: a}
+				packs = append(packs, stealPack{args: b})
+				s.remaining.Add(1)
+				s.splits.Add(1)
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	for i, pk := range packs {
+		s.deques[i%len(s.deques)].pushBack(pk)
+	}
+}
+
+// next returns the next pack worker i should execute, stealing and splitting
+// as needed, or ok=false when the whole dispatch round is complete. It blocks
+// (via the idle/backoff protocol) while other workers still hold unfinished
+// packs that might split or be re-queued.
+func (s *stealScheduler) next(ctx exec.Context, i int) (stealPack, bool) {
+	if pk, ok := s.take(i); ok {
+		return pk, true
+	}
+	// Out of local work: this worker is hungry until it obtains a pack or
+	// the round ends. The counter is the steal-demand signal that arms
+	// owner-side splitting in take.
+	s.hungry.Add(1)
+	defer s.hungry.Add(-1)
+	backoff := time.Microsecond
+	for {
+		if pk, ok := s.take(i); ok {
+			return pk, true
+		}
+		if pk, ok := s.trySteal(ctx, i); ok {
+			return pk, true
+		}
+		if s.remaining.Load() == 0 {
+			return stealPack{}, false
+		}
+		// Idle protocol: yield first so a busy victim can run and expose
+		// work at zero (virtual) cost, then back off exponentially so an
+		// idle tail is cheap on real hardware and always advances the
+		// virtual clock.
+		exec.Yield(ctx)
+		if pk, ok := s.trySteal(ctx, i); ok {
+			return pk, true
+		}
+		if s.remaining.Load() == 0 {
+			return stealPack{}, false
+		}
+		ctx.Sleep(backoff)
+		if backoff < s.cfg.MaxBackoff {
+			backoff *= 2
+			if backoff > s.cfg.MaxBackoff {
+				backoff = s.cfg.MaxBackoff
+			}
+		}
+	}
+}
+
+// take pops worker i's next local pack. Popping the last local pack while
+// some other worker is hungry applies the owner-side dynamic sizing rule:
+// split it (when big enough) and leave one half queued, so a worker about to
+// disappear into a coarse pack exposes stealable work first. remaining grows
+// before the new half becomes visible, keeping the termination counter
+// conservative.
+func (s *stealScheduler) take(i int) (stealPack, bool) {
+	d := s.deques[i]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.packs) == 0 {
+		return stealPack{}, false
+	}
+	pk := d.packs[0]
+	d.packs = d.packs[1:]
+	if len(d.packs) == 0 && s.hungry.Load() > 0 {
+		if a, b, ok := s.cfg.SplitPack(pk.args); ok {
+			pk = stealPack{args: a}
+			s.remaining.Add(1)
+			d.packs = append(d.packs, stealPack{args: b})
+			s.splits.Add(1)
+		}
+	}
+	return pk, true
+}
+
+// trySteal scans the other deques starting at worker i's right neighbour and
+// takes work from the first deque that has any: the back half when several
+// packs queue there, one half of a freshly split pack when only one does.
+func (s *stealScheduler) trySteal(ctx exec.Context, i int) (stealPack, bool) {
+	n := len(s.deques)
+	for off := 1; off < n; off++ {
+		v := s.deques[(i+off)%n]
+		if pk, ok := s.stealFrom(v, i); ok {
+			s.steals.Add(1)
+			if s.cfg.StealOverhead > 0 {
+				ctx.Compute(s.cfg.StealOverhead)
+			}
+			return pk, true
+		}
+	}
+	s.failedScans.Add(1)
+	return stealPack{}, false
+}
+
+// stealFrom attempts one steal transaction against victim deque v on behalf
+// of thief i. It returns the pack the thief should execute next; surplus
+// stolen packs are re-queued on the thief's own deque.
+func (s *stealScheduler) stealFrom(v *stealDeque, i int) (stealPack, bool) {
+	v.mu.Lock()
+	switch n := len(v.packs); {
+	case n >= 2:
+		// Steal-half: take the back half, leaving the front (older, possibly
+		// larger) packs with their owner.
+		k := n / 2
+		stolen := append([]stealPack(nil), v.packs[n-k:]...)
+		v.packs = v.packs[:n-k]
+		v.mu.Unlock()
+		s.stolen.Add(int64(k))
+		if len(stolen) > 1 {
+			s.deques[i].pushBack(stolen[1:]...)
+		}
+		return stolen[0], true
+	case n == 1:
+		// Dynamic pack sizing: the victim's single queued pack is hot —
+		// split it so both sides keep working. remaining grows by one
+		// BEFORE the new half escapes the critical section, so the
+		// termination counter can lag low but never reads zero while a
+		// pack is outstanding.
+		if a, b, ok := s.cfg.SplitPack(v.packs[0].args); ok {
+			v.packs[0] = stealPack{args: a}
+			s.remaining.Add(1)
+			v.mu.Unlock()
+			s.splits.Add(1)
+			s.stolen.Add(1)
+			return stealPack{args: b}, true
+		}
+		// Too small to split: migrate the whole queued pack. The victim is
+		// busy with its current pack; its queued one moves to the idle
+		// thief.
+		pk := v.packs[0]
+		v.packs = v.packs[:0]
+		v.mu.Unlock()
+		s.stolen.Add(1)
+		return pk, true
+	default:
+		v.mu.Unlock()
+		return stealPack{}, false
+	}
+}
+
+// finish records the completion of one pack.
+func (s *stealScheduler) finish() {
+	s.executed.Add(1)
+	if s.remaining.Add(-1) < 0 {
+		panic("par: steal scheduler finished more packs than it was given")
+	}
+}
+
+// add accumulates another round's counters.
+func (s *StealStats) add(o StealStats) {
+	s.Seeded += o.Seeded
+	s.Executed += o.Executed
+	s.Steals += o.Steals
+	s.Stolen += o.Stolen
+	s.Splits += o.Splits
+	s.FailedScans += o.FailedScans
+}
+
+// stats snapshots the counters.
+func (s *stealScheduler) stats() StealStats {
+	return StealStats{
+		Seeded:      s.seeded.Load(),
+		Executed:    s.executed.Load(),
+		Steals:      s.steals.Load(),
+		Stolen:      s.stolen.Load(),
+		Splits:      s.splits.Load(),
+		FailedScans: s.failedScans.Load(),
+	}
+}

@@ -159,3 +159,26 @@ func runHandCoded(p Params) (Result, error) {
 	res.Elapsed = cl.Elapsed()
 	return res, nil
 }
+
+// HandSequential is the hand-coded sequential sieve: one PrimeFilter over
+// the seed range [2, √max] filtering the odd candidates directly — no
+// weaver, no modules, no simulation. It is the conformance oracle the
+// module-matrix harness compares every woven combination against (and is
+// itself checked against the independent Reference sieve).
+func HandSequential(max int32) ([]int32, error) {
+	if max < 2 {
+		return nil, nil
+	}
+	sqrtMax := ISqrt(max)
+	if sqrtMax < 2 {
+		sqrtMax = 2 // tiny max: the seed filter still needs a valid [2,2] range
+	}
+	f, err := NewPrimeFilter(2, sqrtMax)
+	if err != nil {
+		return nil, err
+	}
+	survivors := f.Filter(Candidates(sqrtMax, max))
+	primes := append(f.Seeds(), survivors...)
+	sort.Slice(primes, func(i, j int) bool { return primes[i] < primes[j] })
+	return primes, nil
+}

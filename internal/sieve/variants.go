@@ -13,7 +13,8 @@ import (
 )
 
 // Variant names one module combination — the rows of the paper's Table 1,
-// plus the sequential core and the hand-coded Figure 16 baseline.
+// plus the sequential core, the hand-coded Figure 16 baseline, and the
+// work-stealing farm this reproduction adds beyond the paper.
 type Variant string
 
 // The tested module combinations.
@@ -31,15 +32,143 @@ const (
 	FarmDRMI Variant = "FarmDRMI"
 	// FarmMPP: farm partition + concurrency + MPP distribution.
 	FarmMPP Variant = "FarmMPP"
+	// FarmStealing: work-stealing adaptive farm (partition and concurrency
+	// merged; per-worker deques, steal-half, split-on-steal) + RMI. This is
+	// the scheduler the paper's static farms lack: it keeps scaling when
+	// pack costs are heterogeneous.
+	FarmStealing Variant = "FarmStealing"
 	// HandPipeRMI is the hand-coded pipeline-RMI baseline of Figure 16:
 	// the same computation and communication with parallelisation code
 	// tangled into the application (no weaver, no aspects).
 	HandPipeRMI Variant = "HandPipeRMI"
 )
 
-// Variants lists the Table 1 combinations in the paper's order.
+// Variants lists the Table 1 combinations in the paper's order, followed by
+// the stealing farm added by this reproduction.
 func Variants() []Variant {
-	return []Variant{FarmThreads, PipeRMI, FarmRMI, FarmDRMI, FarmMPP}
+	return []Variant{FarmThreads, PipeRMI, FarmRMI, FarmDRMI, FarmMPP, FarmStealing}
+}
+
+// --- The module matrix -------------------------------------------------------
+
+// PartitionKind is the partition-protocol axis of the module matrix.
+type PartitionKind string
+
+// The partition protocols a sieve run can plug.
+const (
+	PartPipeline     PartitionKind = "pipeline"
+	PartFarm         PartitionKind = "farm"
+	PartDynamicFarm  PartitionKind = "dynamic-farm"
+	PartStealingFarm PartitionKind = "stealing-farm"
+)
+
+// ConcurrencyKind is the concurrency axis of the module matrix.
+type ConcurrencyKind string
+
+// The concurrency choices. Self-scheduling partitions (dynamic and stealing
+// farm) manage their own activities, so for them the axis is pinned to
+// ConcMerged; the other partitions compose with ConcNone (valid but
+// sequential, like OpenMP with one thread) or ConcAsync (the paper's
+// concurrency module).
+const (
+	ConcNone   ConcurrencyKind = "none"
+	ConcAsync  ConcurrencyKind = "async"
+	ConcMerged ConcurrencyKind = "merged"
+)
+
+// DistributionKind is the distribution axis of the module matrix.
+type DistributionKind string
+
+// The distribution choices.
+const (
+	DistNone DistributionKind = "none"
+	DistRMI  DistributionKind = "rmi"
+	DistMPP  DistributionKind = "mpp"
+)
+
+// Combo is one cell of the partition × concurrency × distribution matrix.
+// The named Variants are the paper's chosen cells; RunCombo can run any
+// valid cell, and the conformance harness runs them all.
+type Combo struct {
+	Partition    PartitionKind
+	Concurrency  ConcurrencyKind
+	Distribution DistributionKind
+}
+
+// String renders the combo as "partition/concurrency/distribution"; the zero
+// combo (sequential core) renders as "seq".
+func (c Combo) String() string {
+	if (c == Combo{}) {
+		return "seq"
+	}
+	return fmt.Sprintf("%s/%s/%s", c.Partition, c.Concurrency, c.Distribution)
+}
+
+// selfScheduling reports whether the partition manages its own activities.
+func (p PartitionKind) selfScheduling() bool {
+	return p == PartDynamicFarm || p == PartStealingFarm
+}
+
+// Validate reports why the combo cannot be built, or nil.
+func (c Combo) Validate() error {
+	switch c.Partition {
+	case PartPipeline, PartFarm:
+		if c.Concurrency != ConcNone && c.Concurrency != ConcAsync {
+			return fmt.Errorf("sieve: %s composes with concurrency %q or %q, not %q",
+				c.Partition, ConcNone, ConcAsync, c.Concurrency)
+		}
+	case PartDynamicFarm, PartStealingFarm:
+		if c.Concurrency != ConcMerged {
+			return fmt.Errorf("sieve: %s is self-scheduling; concurrency must be %q", c.Partition, ConcMerged)
+		}
+	default:
+		return fmt.Errorf("sieve: unknown partition %q", c.Partition)
+	}
+	switch c.Distribution {
+	case DistNone, DistRMI, DistMPP:
+	default:
+		return fmt.Errorf("sieve: unknown distribution %q", c.Distribution)
+	}
+	return nil
+}
+
+// AllCombos enumerates every valid cell of the module matrix: each partition
+// with every concurrency choice it admits, times every distribution.
+func AllCombos() []Combo {
+	var out []Combo
+	for _, part := range []PartitionKind{PartPipeline, PartFarm, PartDynamicFarm, PartStealingFarm} {
+		concs := []ConcurrencyKind{ConcNone, ConcAsync}
+		if part.selfScheduling() {
+			concs = []ConcurrencyKind{ConcMerged}
+		}
+		for _, conc := range concs {
+			for _, dist := range []DistributionKind{DistNone, DistRMI, DistMPP} {
+				out = append(out, Combo{Partition: part, Concurrency: conc, Distribution: dist})
+			}
+		}
+	}
+	return out
+}
+
+// comboOf maps a named variant to its matrix cell; ok is false for the
+// special rows (Seq, HandPipeRMI) that are not woven combinations.
+func comboOf(v Variant) (Combo, bool) {
+	switch v {
+	case FarmThreads:
+		return Combo{PartFarm, ConcAsync, DistNone}, true
+	case PipeRMI:
+		return Combo{PartPipeline, ConcAsync, DistRMI}, true
+	case FarmRMI:
+		return Combo{PartFarm, ConcAsync, DistRMI}, true
+	case FarmDRMI:
+		return Combo{PartDynamicFarm, ConcMerged, DistRMI}, true
+	case FarmMPP:
+		return Combo{PartFarm, ConcAsync, DistMPP}, true
+	case FarmStealing:
+		return Combo{PartStealingFarm, ConcMerged, DistRMI}, true
+	default:
+		return Combo{}, false
+	}
 }
 
 // Table1Row describes one variant in the paper's Table 1 columns.
@@ -55,6 +184,8 @@ func Table1Row(v Variant) (partition, concurrency, distribution string) {
 		return "Dynamic Farm", "(merged)", "RMI"
 	case FarmMPP:
 		return "Farm", "Yes", "MPP"
+	case FarmStealing:
+		return "Stealing Farm", "(merged)", "RMI"
 	case Seq:
 		return "-", "-", "-"
 	case HandPipeRMI:
@@ -99,9 +230,16 @@ type Params struct {
 	// aspect: that many packs merge into one message (ablation B).
 	PackingDegree int
 	// Skew, when > 1, makes every Filters-th pack Skew times larger than
-	// the others — the load imbalance that separates the dynamic from the
-	// static farm (ablation C).
+	// the others — the load imbalance that separates the dynamic and
+	// stealing farms from the static one (ablation C).
 	Skew float64
+	// Steal tunes the work-stealing scheduler for stealing-farm runs; the
+	// zero value selects the par.StealConfig defaults.
+	Steal par.StealConfig
+	// KeepPrimes retains the full sorted prime list in Result.Primes —
+	// used by the conformance harness; large sweeps leave it off and
+	// compare checksums.
+	KeepPrimes bool
 }
 
 // PaperParams returns the evaluation parameters of Section 6.
@@ -137,11 +275,17 @@ type Result struct {
 	// PrimeCount and PrimeSum checksum the computed primes.
 	PrimeCount int
 	PrimeSum   uint64
+	// Primes is the full sorted prime list, retained only when
+	// Params.KeepPrimes is set.
+	Primes []int32
 	// Comm aggregates middleware traffic (zero for local variants).
 	Comm par.CommStats
 	// Spawned counts asynchronous activities launched by the concurrency
 	// module (zero when the module is not plugged).
 	Spawned int64
+	// Steals reports the work-stealing scheduler's counters (zero unless
+	// the stealing farm ran).
+	Steals par.StealStats
 }
 
 // Run executes one variant and returns its result. Every run builds a fresh
@@ -149,10 +293,30 @@ type Result struct {
 // independent and deterministic.
 func Run(v Variant, p Params) (Result, error) {
 	p = p.withDefaults()
-	if v == HandPipeRMI {
+	switch v {
+	case HandPipeRMI:
 		return runHandCoded(p)
+	case Seq:
+		return runWoven(v, Combo{}, p)
 	}
-	return runWoven(v, p)
+	c, ok := comboOf(v)
+	if !ok {
+		return Result{}, fmt.Errorf("sieve: unknown variant %q", v)
+	}
+	return runWoven(v, c, p)
+}
+
+// RunCombo executes an arbitrary valid cell of the module matrix — the
+// conformance harness's entry point. The zero Combo runs the sequential
+// core.
+func RunCombo(c Combo, p Params) (Result, error) {
+	p = p.withDefaults()
+	if (c != Combo{}) {
+		if err := c.Validate(); err != nil {
+			return Result{}, err
+		}
+	}
+	return runWoven(Variant(c.String()), c, p)
 }
 
 // defineClass registers PrimeFilter on a fresh domain: the bodies delegate
@@ -259,8 +423,9 @@ type wiring struct {
 	packing *par.Packing
 }
 
-// build wires the module combination for a variant.
-func build(v Variant, p Params) (*wiring, error) {
+// build wires the modules for one matrix cell (the zero combo wires the
+// sequential core: no partition, no concurrency, no distribution).
+func build(c Combo, p Params) (*wiring, error) {
 	w := &wiring{dom: par.NewDomain()}
 	w.class = defineClass(w.dom)
 	w.cl = cluster.New(sim.NewEngine(), p.Cluster)
@@ -269,14 +434,15 @@ func build(v Variant, p Params) (*wiring, error) {
 	callAny := aspect.Call("PrimeFilter", "*")
 	newPF := aspect.New("PrimeFilter")
 
+	seq := c == Combo{}
 	var mods []par.Module
 	sqrtMax := ISqrt(p.Max)
 
-	switch v {
-	case Seq:
-		// no partition, no concurrency, no distribution
+	switch c.Partition {
+	case "":
+		// sequential core: no partition
 
-	case PipeRMI:
+	case PartPipeline:
 		ranges := stageRanges(sqrtMax, p.Filters)
 		w.pipe = par.NewPipeline(par.PipelineConfig{
 			Class:  w.class,
@@ -297,43 +463,49 @@ func build(v Variant, p Params) (*wiring, error) {
 				return []any{survivors}
 			},
 		})
-		w.conc = par.NewConcurrency(callFilter)
-		w.dist = par.NewDistribution(w.dom, newPF, callAny, par.NewSimRMI(w.cl), workerPlacement(p))
-		mods = append(mods, w.pipe, w.conc, w.dist)
+		mods = append(mods, w.pipe)
 
-	case FarmThreads, FarmRMI, FarmMPP, FarmDRMI:
+	case PartFarm, PartDynamicFarm, PartStealingFarm:
 		w.farm = par.NewFarm(par.FarmConfig{
-			Class:   w.class,
-			Method:  "Filter",
-			Workers: p.Filters,
-			Split:   splitPacks(p.Packs, p.Skew, p.Filters),
-			Dynamic: v == FarmDRMI,
+			Class:    w.class,
+			Method:   "Filter",
+			Workers:  p.Filters,
+			Split:    splitPacks(p.Packs, p.Skew, p.Filters),
+			Dynamic:  c.Partition == PartDynamicFarm,
+			Stealing: c.Partition == PartStealingFarm,
+			Steal:    p.Steal,
 		})
 		mods = append(mods, w.farm)
-		if v != FarmDRMI {
-			w.conc = par.NewConcurrency(callFilter)
-			mods = append(mods, w.conc)
-		}
-		switch v {
-		case FarmRMI, FarmDRMI:
-			w.dist = par.NewDistribution(w.dom, newPF, callAny, par.NewSimRMI(w.cl), workerPlacement(p))
-			mods = append(mods, w.dist)
-		case FarmMPP:
-			w.dist = par.NewDistribution(w.dom, newPF, callAny, par.NewSimMPP(w.cl, "Filter"), workerPlacement(p))
-			mods = append(mods, w.dist)
-		}
 
 	default:
-		return nil, fmt.Errorf("sieve: unknown variant %q", v)
+		return nil, fmt.Errorf("sieve: unknown partition %q", c.Partition)
 	}
 
-	if p.PackingDegree > 1 && v != Seq {
+	if c.Concurrency == ConcAsync {
+		w.conc = par.NewConcurrency(callFilter)
+		mods = append(mods, w.conc)
+	}
+
+	switch c.Distribution {
+	case "", DistNone:
+		// local objects, direct calls
+	case DistRMI:
+		w.dist = par.NewDistribution(w.dom, newPF, callAny, par.NewSimRMI(w.cl), workerPlacement(p))
+		mods = append(mods, w.dist)
+	case DistMPP:
+		w.dist = par.NewDistribution(w.dom, newPF, callAny, par.NewSimMPP(w.cl, "Filter"), workerPlacement(p))
+		mods = append(mods, w.dist)
+	default:
+		return nil, fmt.Errorf("sieve: unknown distribution %q", c.Distribution)
+	}
+
+	if p.PackingDegree > 1 && !seq {
 		w.packing = par.NewPacking(w.class, "Filter", p.PackingDegree)
 		mods = append(mods, w.packing)
 	}
 
 	overhead := p.DispatchOverhead
-	if v == Seq {
+	if seq {
 		overhead = 0 // nothing is woven around the plain core
 	}
 	meter := par.NewMetering(aspect.Or(callAny, newPF), p.NsPerOp, overhead)
@@ -352,8 +524,8 @@ func workerPlacement(p Params) par.Placement {
 	return par.RoundRobin(1, p.Cluster.Machines-1)
 }
 
-func runWoven(v Variant, p Params) (Result, error) {
-	w, err := build(v, p)
+func runWoven(v Variant, c Combo, p Params) (Result, error) {
+	w, err := build(c, p)
 	if err != nil {
 		return Result{}, err
 	}
@@ -384,6 +556,9 @@ func runWoven(v Variant, p Params) (Result, error) {
 			panic(err)
 		}
 		res.PrimeCount, res.PrimeSum = Checksum(primes)
+		if p.KeepPrimes {
+			res.Primes = primes
+		}
 	})
 	if runErr != nil {
 		return Result{}, fmt.Errorf("sieve: %s run failed: %w", v, runErr)
@@ -394,6 +569,9 @@ func runWoven(v Variant, p Params) (Result, error) {
 	}
 	if w.conc != nil {
 		res.Spawned = w.conc.Spawned()
+	}
+	if w.farm != nil {
+		res.Steals = w.farm.StealStats()
 	}
 	return res, nil
 }

@@ -147,6 +147,19 @@ func (e *Engine) scheduleWake(p *Proc, at time.Duration) {
 // current instant (it runs after the waker yields).
 func (e *Engine) wakeAt(p *Proc) { e.scheduleWake(p, e.now) }
 
+// Yield reschedules the process at the current virtual instant, behind every
+// event already queued for this instant. It is the simulated rendering of a
+// processor yield: co-scheduled processes run (and may publish work) before
+// the yielder resumes, while the virtual clock does not advance. A process
+// spinning on Yield with no other runnable process re-runs at the same
+// instant forever, so idle loops must interleave timed Sleeps.
+func (p *Proc) Yield() {
+	p.eng.scheduleWake(p, p.eng.now)
+	p.reason = "yield"
+	p.yield()
+	p.reason = ""
+}
+
 // Sleep advances the process by d of virtual time.
 func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
