@@ -124,7 +124,7 @@ func BenchmarkAppImagePipeline(b *testing.B) {
 func BenchmarkAppMandelFarmStatic(b *testing.B) {
 	spec := mandel.DefaultSpec(64, 32)
 	for i := 0; i < b.N; i++ {
-		w := mandel.Build(spec, 4, false)
+		w := mandel.Build(spec, 4, mandel.Config{Schedule: mandel.Static})
 		if _, err := w.Render(exec.Real(), spec); err != nil {
 			b.Fatal(err)
 		}
@@ -134,7 +134,17 @@ func BenchmarkAppMandelFarmStatic(b *testing.B) {
 func BenchmarkAppMandelFarmDynamic(b *testing.B) {
 	spec := mandel.DefaultSpec(64, 32)
 	for i := 0; i < b.N; i++ {
-		w := mandel.Build(spec, 4, true)
+		w := mandel.Build(spec, 4, mandel.Config{Schedule: mandel.Dynamic})
+		if _, err := w.Render(exec.Real(), spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppMandelFarmStealing(b *testing.B) {
+	spec := mandel.DefaultSpec(64, 32)
+	for i := 0; i < b.N; i++ {
+		w := mandel.Build(spec, 4, mandel.Config{Schedule: mandel.Stealing})
 		if _, err := w.Render(exec.Real(), spec); err != nil {
 			b.Fatal(err)
 		}

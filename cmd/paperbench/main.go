@@ -5,10 +5,13 @@
 //
 //	paperbench [-exp table1|fig16|fig17|packing|imbalance|schedule|all]
 //	           [-max N] [-packs N] [-runs N] [-filters 1,4,7,10,13,16]
-//	           [-skew F]
+//	           [-skew F] [-window N] [-json FILE]
 //
 // The defaults are the paper's parameters: maximum prime 10,000,000, 50
-// messages, filter counts 1..16, median of 5 runs.
+// messages, filter counts 1..16, median of 5 runs. -json appends the
+// measured points to FILE as a machine-readable record (merging with any
+// record already there), the format the CI bench job diffs against
+// BENCH_baseline.json.
 package main
 
 import (
@@ -24,12 +27,14 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1, fig16, fig17, packing, imbalance, schedule, all")
-		max     = flag.Int("max", 10_000_000, "largest candidate number")
-		packs   = flag.Int("packs", 50, "number of messages the candidate list splits into")
-		runs    = flag.Int("runs", 5, "runs per configuration (median reported)")
-		filters = flag.String("filters", "1,4,7,10,13,16", "comma-separated filter counts")
-		skew    = flag.Float64("skew", 8, "pack-size skew factor for the schedule sweep")
+		exp      = flag.String("exp", "all", "experiment: table1, fig16, fig17, packing, imbalance, schedule, all")
+		max      = flag.Int("max", 10_000_000, "largest candidate number")
+		packs    = flag.Int("packs", 50, "number of messages the candidate list splits into")
+		runs     = flag.Int("runs", 5, "runs per configuration (median reported)")
+		filters  = flag.String("filters", "1,4,7,10,13,16", "comma-separated filter counts")
+		skew     = flag.Float64("skew", 8, "pack-size skew factor for the schedule sweep")
+		window   = flag.Int("window", 0, "dispatch window of the self-scheduling farms (0 = default, 1 = synchronous)")
+		jsonPath = flag.String("json", "", "append measured points to this JSON record file")
 	)
 	flag.Parse()
 
@@ -42,7 +47,17 @@ func main() {
 		p := sieve.PaperParams(f)
 		p.Max = int32(*max)
 		p.Packs = *packs
+		p.Window = *window
 		return p
+	}
+
+	var entries []bench.Entry
+	record := func(experiment string, series []bench.Series) {
+		if *jsonPath == "" {
+			return
+		}
+		entries = append(entries,
+			bench.SeriesEntries(experiment, *window, *max, *packs, series)...)
 	}
 
 	run := func(name string, fn func() error) {
@@ -55,8 +70,8 @@ func main() {
 		}
 	}
 
-	fmt.Printf("paperbench: simulated testbed = 7 nodes x 4 hardware contexts, GbE; max=%d packs=%d runs=%d\n\n",
-		*max, *packs, *runs)
+	fmt.Printf("paperbench: simulated testbed = 7 nodes x 4 hardware contexts, GbE; max=%d packs=%d runs=%d window=%d\n\n",
+		*max, *packs, *runs, *window)
 
 	run("table1", func() error {
 		fmt.Println(bench.Table1())
@@ -68,6 +83,7 @@ func main() {
 		if err != nil {
 			return err
 		}
+		record("fig16", series)
 		fmt.Println(bench.FormatTable("Figure 16 - Performance of Java versus AspectPar (pipeline, RMI)", series))
 		fmt.Println(bench.FormatChart("Figure 16 (chart)", series, 14))
 		fmt.Println(bench.OverheadSummary(series))
@@ -80,6 +96,7 @@ func main() {
 		if err != nil {
 			return err
 		}
+		record("fig17", series)
 		fmt.Println(bench.FormatTable("Figure 17 - Performance of AspectPar versions (module combinations)", series))
 		fmt.Println(bench.FormatChart("Figure 17 (chart)", series, 16))
 		return nil
@@ -91,6 +108,7 @@ func main() {
 		if err != nil {
 			return err
 		}
+		record("packing", series)
 		fmt.Println(bench.FormatTable(
 			fmt.Sprintf("Ablation B - communication packing on FarmMPP (%d filters)", f), series))
 		return nil
@@ -101,6 +119,7 @@ func main() {
 		if err != nil {
 			return err
 		}
+		record("schedule", series)
 		fmt.Println(bench.FormatTable(
 			fmt.Sprintf("Schedule sweep - farm scheduling disciplines under skew ×%.0f (Figure 17 + stealing column)", *skew), series))
 		fmt.Println(bench.FormatChart("Schedule sweep (chart)", series, 14))
@@ -113,10 +132,19 @@ func main() {
 		if err != nil {
 			return err
 		}
+		record("imbalance", series)
 		fmt.Println(bench.FormatTable(
 			fmt.Sprintf("Ablation C - static versus dynamic versus stealing farm under load imbalance (%d filters, RMI)", f), series))
 		return nil
 	})
+
+	if *jsonPath != "" {
+		if err := bench.MergeInto(*jsonPath, entries); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d measured points to %s\n", len(entries), *jsonPath)
+	}
 }
 
 func parseCounts(s string) ([]int, error) {

@@ -1,7 +1,8 @@
 // Mandelbrot farm example: the farm protocol aspect on a row renderer,
-// comparing static round-robin and dynamic self-scheduling (rows inside the
-// set cost much more, so the dynamic farm balances better — the imbalance
-// the paper's sieve workload lacks).
+// comparing static round-robin, dynamic self-scheduling and the windowed
+// work-stealing schedule (rows inside the set cost much more, so the
+// adaptive schedules balance better — the imbalance the paper's sieve
+// workload lacks).
 //
 // Run with: go run ./examples/mandelfarm
 package main
@@ -17,8 +18,8 @@ import (
 func main() {
 	spec := mandel.DefaultSpec(100, 40)
 
-	for _, dynamic := range []bool{false, true} {
-		w := mandel.Build(spec, 4, dynamic)
+	for _, sched := range []mandel.Schedule{mandel.Static, mandel.Dynamic, mandel.Stealing} {
+		w := mandel.Build(spec, 4, mandel.Config{Schedule: sched})
 		img, err := w.Render(exec.Real(), spec)
 		if err != nil {
 			log.Fatal(err)
@@ -31,11 +32,11 @@ func main() {
 				}
 			}
 		}
-		mode := "static"
-		if dynamic {
-			mode = "dynamic"
+		fmt.Printf("%s farm: %d workers, %d pixels in the set", sched, 4, inSet)
+		if st := w.Farm.StealStats(); st.Steals > 0 || st.Splits > 0 {
+			fmt.Printf(" (steals %d, band splits %d)", st.Steals, st.Splits)
 		}
-		fmt.Printf("%s farm: %d workers, %d pixels in the set\n", mode, 4, inSet)
+		fmt.Println()
 	}
 
 	// Render the set as ASCII art from the sequential oracle.

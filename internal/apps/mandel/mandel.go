@@ -105,19 +105,58 @@ func Sequential(spec Spec) [][]uint16 {
 	return img
 }
 
-// Wiring is the woven application: core class + farm + concurrency.
+// Schedule selects how the row farm assigns work.
+type Schedule string
+
+// The row-farm schedules.
+const (
+	// Static pre-assigns rows round-robin, one asynchronous call per row
+	// (farm + concurrency, the paper's plain farm).
+	Static Schedule = "static"
+	// Dynamic self-schedules single rows through a shared queue.
+	Dynamic Schedule = "dynamic"
+	// Stealing is the work-stealing adaptive schedule with windowed
+	// dispatch: rows start as one coarse contiguous band per worker and
+	// split on demand — down to single rows — exactly where the set's
+	// interior makes bands expensive. It is the default.
+	Stealing Schedule = "stealing"
+)
+
+// Config tunes Build.
+type Config struct {
+	// Schedule selects the farm's scheduling discipline; the zero value is
+	// Stealing.
+	Schedule Schedule
+	// Window is the latency-hiding dispatch window of the self-scheduling
+	// schedules; 0 selects par.DefaultWindow, 1 the synchronous protocol.
+	Window int
+	// Distribute places the workers through the given middleware (e.g.
+	// par.NewSimRMI over a simulated cluster); nil keeps them local.
+	Distribute par.Middleware
+	// Placement places distributed workers; nil puts them all on node 0.
+	Placement par.Placement
+	// NsPerOp meters the renderer's arithmetic at this virtual cost per
+	// operation; 0 plugs no metering (real-backend runs).
+	NsPerOp float64
+}
+
+// Wiring is the woven application: core class + farm (+ concurrency,
+// distribution, metering as configured).
 type Wiring struct {
 	Dom   *par.Domain
 	Class *par.Class
 	Farm  *par.Farm
 	Conc  *par.Concurrency
+	Dist  *par.Distribution
 	Stack *par.Stack
 }
 
-// Build wires a row farm of the given size; dynamic selects self-scheduling
-// (rows near the set's interior cost far more than exterior rows, so the
-// dynamic farm balances visibly better — the imbalance the sieve lacks).
-func Build(spec Spec, workers int, dynamic bool) *Wiring {
+// Build wires a row farm of the given size. Rows near the set's interior
+// cost far more than exterior rows — the load imbalance the sieve workload
+// lacks — so the adaptive schedules balance visibly better; the default
+// stealing schedule additionally hides the middleware round trip behind a
+// dispatch window when the farm is distributed.
+func Build(spec Spec, workers int, cfg Config) *Wiring {
 	w := &Wiring{Dom: par.NewDomain()}
 	w.Class = w.Dom.Define("MandelWorker",
 		func(args []any) (any, error) { return NewWorker(args[0].(Spec)) },
@@ -130,27 +169,94 @@ func Build(spec Spec, workers int, dynamic bool) *Wiring {
 				return []any{target.(*Worker).Rows()}, nil
 			},
 		})
-	w.Farm = par.NewFarm(par.FarmConfig{
+	sched := cfg.Schedule
+	if sched == "" {
+		sched = Stealing
+	}
+	fc := par.FarmConfig{
 		Class:   w.Class,
 		Method:  "Render",
 		Workers: workers,
-		Split: func(args []any) [][]any {
-			rows := args[0].([]int32)
-			parts := make([][]any, 0, len(rows))
-			for _, r := range rows {
-				parts = append(parts, []any{[]int32{r}})
-			}
-			return parts
-		},
-		Dynamic: dynamic,
-	})
+		Window:  cfg.Window,
+	}
+	switch sched {
+	case Stealing:
+		fc.Stealing = true
+		// Enough coarse bands that each worker's deque keeps stealable
+		// depth behind its dispatch window: a band in flight can no longer
+		// be stolen, so fewer bands than window+1 per worker would lock the
+		// initial assignment in.
+		win := cfg.Window
+		if win <= 0 {
+			win = par.DefaultWindow
+		}
+		fc.Split = bandSplit(workers * (win + 2))
+		// Row-index packs split with the default []int32 halver; MinSplit 1
+		// lets demand refine a band down to single rows.
+		fc.Steal = par.StealConfig{MinSplit: 1}
+	default:
+		fc.Dynamic = sched == Dynamic
+		fc.Split = perRowSplit
+	}
+	w.Farm = par.NewFarm(fc)
 	mods := []par.Module{w.Farm}
-	if !dynamic {
+	if sched == Static {
 		w.Conc = par.NewConcurrency(aspect.Call("MandelWorker", "Render"))
 		mods = append(mods, w.Conc)
 	}
+	if cfg.Distribute != nil {
+		placement := cfg.Placement
+		if placement == nil {
+			placement = par.SingleNode(0)
+		}
+		w.Dist = par.NewDistribution(w.Dom, aspect.New("MandelWorker"),
+			aspect.Call("MandelWorker", "*"), cfg.Distribute, placement)
+		mods = append(mods, w.Dist)
+	}
+	if cfg.NsPerOp > 0 {
+		mods = append(mods, par.NewMetering(
+			aspect.Or(aspect.Call("MandelWorker", "*"), aspect.New("MandelWorker")),
+			cfg.NsPerOp, 0))
+	}
 	w.Stack = par.NewStack(w.Dom, mods...)
 	return w
+}
+
+// perRowSplit makes one pack per row — the static and dynamic farms'
+// finest-grained assignment.
+func perRowSplit(args []any) [][]any {
+	rows := args[0].([]int32)
+	parts := make([][]any, 0, len(rows))
+	for _, r := range rows {
+		parts = append(parts, []any{[]int32{r}})
+	}
+	return parts
+}
+
+// bandSplit divides the rows into coarse contiguous bands; the stealing
+// scheduler refines bands on demand.
+func bandSplit(bands int) func(args []any) [][]any {
+	return func(args []any) [][]any {
+		rows := args[0].([]int32)
+		if len(rows) == 0 {
+			return nil
+		}
+		n := bands
+		if n > len(rows) {
+			n = len(rows)
+		}
+		parts := make([][]any, 0, n)
+		start := 0
+		for i := 0; i < n; i++ {
+			end := (i + 1) * len(rows) / n
+			if end <= start {
+				continue
+			}
+			parts = append(parts, []any{rows[start:end:end]})
+			start = end
+		}
+		return parts
+	}
 }
 
 // Render runs the farm over all rows and assembles the image.

@@ -2,8 +2,12 @@ package mandel
 
 import (
 	"testing"
+	"time"
 
+	"aspectpar/internal/cluster"
 	"aspectpar/internal/exec"
+	"aspectpar/internal/par"
+	"aspectpar/internal/sim"
 )
 
 func TestSpecValidation(t *testing.T) {
@@ -33,17 +37,17 @@ func TestKnownPoints(t *testing.T) {
 func TestFarmMatchesSequential(t *testing.T) {
 	spec := DefaultSpec(40, 24)
 	want := Sequential(spec)
-	for _, dynamic := range []bool{false, true} {
-		w := Build(spec, 3, dynamic)
+	for _, sched := range []Schedule{Static, Dynamic, Stealing} {
+		w := Build(spec, 3, Config{Schedule: sched})
 		got, err := w.Render(exec.Real(), spec)
 		if err != nil {
-			t.Fatalf("dynamic=%v: %v", dynamic, err)
+			t.Fatalf("%s: %v", sched, err)
 		}
 		for r := range want {
 			for c := range want[r] {
 				if got[r][c] != want[r][c] {
-					t.Fatalf("dynamic=%v: pixel (%d,%d) = %d, want %d",
-						dynamic, r, c, got[r][c], want[r][c])
+					t.Fatalf("%s: pixel (%d,%d) = %d, want %d",
+						sched, r, c, got[r][c], want[r][c])
 				}
 			}
 		}
@@ -52,7 +56,7 @@ func TestFarmMatchesSequential(t *testing.T) {
 
 func TestRowsDistributedAcrossWorkers(t *testing.T) {
 	spec := DefaultSpec(16, 12)
-	w := Build(spec, 4, false)
+	w := Build(spec, 4, Config{Schedule: Static})
 	if _, err := w.Render(exec.Real(), spec); err != nil {
 		t.Fatal(err)
 	}
@@ -79,4 +83,66 @@ func TestWorkerOps(t *testing.T) {
 	if w.TakeOps() == 0 {
 		t.Error("Render should count operations")
 	}
+}
+
+// runOverRMI renders the spec with the stealing schedule distributed over
+// simulated RMI on the paper testbed and returns the image, the elapsed
+// virtual time and the steal counters.
+func runOverRMI(t *testing.T, spec Spec, workers, window int) ([][]uint16, time.Duration, par.StealStats) {
+	t.Helper()
+	cl := cluster.New(sim.NewEngine(), cluster.PaperTestbed())
+	w := Build(spec, workers, Config{
+		Schedule:   Stealing,
+		Window:     window,
+		Distribute: par.NewSimRMI(cl),
+		Placement:  par.RoundRobin(1, 6),
+		NsPerOp:    50,
+	})
+	var img [][]uint16
+	err := cl.Run(func(ctx exec.Context) {
+		var rerr error
+		img, rerr = w.Render(ctx, spec)
+		if rerr != nil {
+			t.Error(rerr)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img, cl.Elapsed(), w.Farm.StealStats()
+}
+
+// TestStealingWindowedOverRMI is the roadmap's "apply the stealing schedule
+// to mandel" item end to end: rows are the natural skewed workload, bands
+// split on demand (steals happen), and the windowed dispatch beats the
+// synchronous per-pack protocol on the same schedule under virtual time.
+func TestStealingWindowedOverRMI(t *testing.T) {
+	spec := DefaultSpec(64, 96)
+	want := Sequential(spec)
+	imgSync, eSync, _ := runOverRMI(t, spec, 6, 1)
+	imgWin, eWin, st := runOverRMI(t, spec, 6, 0)
+	for _, img := range [][][]uint16{imgSync, imgWin} {
+		for r := range want {
+			for c := range want[r] {
+				if img[r][c] != want[r][c] {
+					t.Fatalf("pixel (%d,%d) = %d, want %d", r, c, img[r][c], want[r][c])
+				}
+			}
+		}
+	}
+	if st.Executed != st.Seeded+st.Splits {
+		t.Errorf("pack accounting broken: %+v", st)
+	}
+	if st.Splits == 0 {
+		t.Errorf("interior rows never forced a band split: %+v", st)
+	}
+	if eWin >= eSync {
+		t.Errorf("windowed dispatch (%v) did not beat synchronous (%v)", eWin, eSync)
+	}
+	// Determinism: the windowed schedule reproduces exactly.
+	imgWin2, eWin2, st2 := runOverRMI(t, spec, 6, 0)
+	if eWin != eWin2 || st != st2 {
+		t.Errorf("windowed runs diverge: %v/%v, %+v vs %+v", eWin, eWin2, st, st2)
+	}
+	_ = imgWin2
 }

@@ -26,7 +26,11 @@ type Point struct {
 
 // Series is one curve of a figure.
 type Series struct {
-	Name   string
+	Name string
+	// Skew is the pack-size skew factor this curve was measured at (0 or 1
+	// = balanced); the machine-readable records carry it per series because
+	// one experiment can mix balanced and skewed curves.
+	Skew   float64
 	Points []Point
 }
 
@@ -129,7 +133,7 @@ func ScheduleSweep(counts []int, skew float64, runs int, params func(filters int
 		{"FarmDRMI (dynamic)", sieve.FarmDRMI},
 		{"FarmStealing (stealing)", sieve.FarmStealing},
 	} {
-		s := Series{Name: cfg.name}
+		s := Series{Name: cfg.name, Skew: skew}
 		for _, f := range counts {
 			p := params(f)
 			p.Skew = skew
@@ -168,7 +172,7 @@ func ImbalanceAblation(filters int, skew float64, runs int, params func(filters 
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, Series{Name: cfg.name, Points: []Point{pt}})
+		out = append(out, Series{Name: cfg.name, Skew: cfg.skew, Points: []Point{pt}})
 	}
 	return out, nil
 }

@@ -124,7 +124,10 @@ func NewDistribution(dom *Domain, newPC, callPC aspect.Pointcut, mw Middleware, 
 
 	// Client-side redirection: calls on placed objects go through the
 	// middleware; the server side re-enters the weaver with MarkRemote, so
-	// this advice stands aside there.
+	// this advice stands aside there. A call marked windowed by a
+	// self-scheduling dispatcher is shipped asynchronously when the
+	// middleware supports it: the advice returns immediately after the send
+	// costs and the completion travels back on the slot's channel.
 	d.asp.Around(callPC, func(jp *aspect.JoinPoint, proceed aspect.ProceedFunc) ([]any, error) {
 		if jp.Bool(MarkRemote) {
 			return proceed(nil)
@@ -132,7 +135,17 @@ func NewDistribution(dom *Domain, newPC, callPC aspect.Pointcut, mw Middleware, 
 		if _, placed := d.mw.NodeOf(jp.Target); !placed {
 			return proceed(nil) // not a distributed object: stay local
 		}
-		return d.mw.Invoke(ctxOf(jp), jp.Target, jp.Method, jp.Args, jp.Bool(MarkVoid))
+		ctx := ctxOf(jp)
+		if v, ok := jp.Value(MarkWindowed); ok {
+			if slot, ok := v.(*windowSlot); ok && slot != nil {
+				if async, ok := d.mw.(AsyncInvoker); ok {
+					slot.issued = true
+					async.InvokeAsync(ctx, jp.Target, jp.Method, jp.Args, jp.Bool(MarkVoid), slot.done)
+					return nil, nil
+				}
+			}
+		}
+		return d.mw.Invoke(ctx, jp.Target, jp.Method, jp.Args, jp.Bool(MarkVoid))
 	})
 	return d
 }

@@ -71,4 +71,40 @@
 // same-instant events FIFO. [Farm.StealStats] exposes the counters; the
 // accounting invariant Executed == Seeded + Splits ("no pack lost, no pack
 // filtered twice") is property-tested.
+//
+// # Windowed self-scheduling (latency hiding)
+//
+// Both self-scheduling schedules originally blocked on one synchronous
+// middleware round trip per pack, so over RMI a dispatcher spent most of its
+// time waiting — on balanced workloads the dynamic and stealing farms could
+// not beat the static farm, whose concurrency module keeps every pack in
+// flight at once. [FarmConfig].Window restores the overlap without giving up
+// self-scheduling:
+//
+//   - each worker keeps up to Window packs in flight: a pack call carries a
+//     windowSlot under MarkWindowed, and distribution advice over a
+//     middleware implementing [AsyncInvoker] ships it asynchronously — the
+//     worker pays only the request marshalling cost and moves on;
+//   - the middleware executes one client's calls to one object in send order
+//     (a per-object dispatch loop draining a pipelined connection, exactly
+//     the semantics of the real package rmi client), and delivers one
+//     [Completion] per call on the slot's channel;
+//   - workers reclaim completions in completion order — blocking only when
+//     the window is full or no new pack is obtainable — and settle the
+//     acknowledgement's client-side wire and CPU costs via
+//     [Completion.Reclaim], so the simulation charges send and ack on both
+//     ends honestly;
+//   - a stealing worker never prefetches the last pack of its own deque
+//     while its pipe is busy (stealScheduler.takeWindowed): a pack in flight
+//     cannot be stolen or split any more, so eager claiming at the fringe
+//     would quietly re-create static assignment's imbalance. The deferred
+//     pack stays queued — stealable, splittable — until the window drains.
+//
+// Window=1 degrades to the exact synchronous code path (byte-identical
+// virtual-time schedules); the zero value selects [DefaultWindow] (double
+// buffering). Without a distribution middleware — or over one that cannot
+// pipeline — the marks are inert and calls execute inline as before.
+// Completion-ordered reclamation keeps the protocol deterministic under
+// virtual time; window edge cases (1, > packs, failures mid-window) are
+// covered by window_test.go.
 package par

@@ -33,6 +33,52 @@ type Middleware interface {
 	Stats() CommStats
 }
 
+// Completion is the reclamation record of one windowed asynchronous
+// invocation: AsyncInvoker.InvokeAsync delivers exactly one on the done
+// channel it was given, once the server executed the call and put the
+// acknowledgement on the wire. The caller settles the reply's client-side
+// costs with Reclaim.
+type Completion struct {
+	// Res and Err are the invocation's outcome (Res is nil for void calls,
+	// whose acknowledgement carries no payload).
+	Res []any
+	Err error
+
+	// Reply-tail accounting: when the completion is delivered the
+	// acknowledgement is still on the wire; these drive Reclaim. They are
+	// zero for completions that model no reply message (e.g. a true one-way
+	// transport), making Reclaim free.
+	sentAt time.Duration
+	size   int
+	link   simnet.LinkProfile
+}
+
+// Reclaim charges the caller-side tail of the acknowledgement — the residual
+// wire time and the receive/unmarshal CPU — to the reclaiming activity, and
+// returns the invocation's outcome. Reclaiming twice charges once.
+func (c *Completion) Reclaim(ctx exec.Context) ([]any, error) {
+	if c.size > 0 {
+		if arrival := c.sentAt + c.link.WireTime(c.size); arrival > ctx.Now() {
+			ctx.Sleep(arrival - ctx.Now())
+		}
+		ctx.Compute(c.link.RecvCPU(c.size))
+		c.size = 0
+	}
+	return c.Res, c.Err
+}
+
+// AsyncInvoker is an optional Middleware capability: pipelined (windowed)
+// remote invocation. InvokeAsync returns to the caller as soon as the
+// request's sender-side costs are paid — the wire transfer, the server-side
+// dispatch and the reply all overlap with whatever the caller does next —
+// and delivers one *Completion on done when the call has been executed.
+// Calls from one client to one object are executed in send order (the
+// pipelined-connection semantics of the windowed RMI protocol), so windowed
+// dispatch stays deterministic under virtual time.
+type AsyncInvoker interface {
+	InvokeAsync(ctx exec.Context, obj any, method string, args []any, void bool, done exec.Chan)
+}
+
 // CommStats counts middleware traffic for the experiment reports.
 type CommStats struct {
 	// Messages is the number of network messages (requests and replies).
@@ -105,17 +151,21 @@ type simRMI struct {
 	remote, local simnet.LinkProfile
 	reg           *registry
 	stats         statsBox
+
+	mu      sync.Mutex
+	inboxes map[any]exec.Chan // per-object async dispatch queues (lazy)
 }
 
 // NewSimRMI returns an RMI middleware over the simulated cluster.
 func NewSimRMI(cl *cluster.Cluster) Middleware {
 	p := simnet.RMIProfile()
 	return &simRMI{
-		cl:     cl,
-		sizer:  simnet.GobSizer{},
-		remote: p,
-		local:  simnet.LoopbackProfile(p),
-		reg:    newRegistry(),
+		cl:      cl,
+		sizer:   simnet.GobSizer{},
+		remote:  p,
+		local:   simnet.LoopbackProfile(p),
+		reg:     newRegistry(),
+		inboxes: make(map[any]exec.Chan),
 	}
 }
 
@@ -188,6 +238,87 @@ func (m *simRMI) Invoke(ctx exec.Context, obj any, method string, args []any, vo
 	return res, err
 }
 
+// rmiCall is one pipelined asynchronous invocation in an object's dispatch
+// queue.
+type rmiCall struct {
+	method string
+	args   []any
+	void   bool
+	from   exec.NodeID
+	sentAt time.Duration
+	size   int
+	done   exec.Chan
+}
+
+// InvokeAsync implements AsyncInvoker: the caller pays only the request
+// marshalling cost, then the call travels to a per-object dispatch loop at
+// the object's node (the skeleton draining one pipelined connection), which
+// executes calls in arrival order and ships acknowledgements back. The
+// caller reclaims the completion — and its reply-tail costs — from done.
+func (m *simRMI) InvokeAsync(ctx exec.Context, obj any, method string, args []any, void bool, done exec.Chan) {
+	e, ok := m.reg.lookup(obj)
+	if !ok {
+		done.Send(ctx, &Completion{Err: fmt.Errorf("par: rmi invoke on unexported object (%s)", method)})
+		return
+	}
+	link := m.link(ctx.Node(), e.node)
+	size := m.sizer.Size(args)
+	ctx.Compute(link.SendCPU(size))
+	m.stats.count(1, int64(size))
+	m.inbox(ctx, e, obj).Send(ctx, &rmiCall{
+		method: method, args: args, void: void,
+		from: ctx.Node(), sentAt: ctx.Now(), size: size, done: done,
+	})
+}
+
+// inbox returns obj's asynchronous dispatch queue, spawning its server-side
+// dispatch loop on first use.
+func (m *simRMI) inbox(ctx exec.Context, e *exportEntry, obj any) exec.Chan {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ch, ok := m.inboxes[obj]
+	if !ok {
+		ch = ctx.NewChan(1 << 16)
+		m.inboxes[obj] = ch
+		ctx.SpawnDaemonOn(e.node, "rmi-dispatch:"+e.name, func(sctx exec.Context) {
+			m.serveAsync(sctx, e, obj, ch)
+		})
+	}
+	return ch
+}
+
+// serveAsync is the server side of the pipelined protocol: one loop per
+// object receives the queued calls in order, pays arrival and dispatch
+// costs at the object's node, and acknowledges each call to its sender.
+func (m *simRMI) serveAsync(sctx exec.Context, e *exportEntry, obj any, inbox exec.Chan) {
+	for {
+		v, ok := inbox.Recv(sctx)
+		if !ok {
+			return
+		}
+		call := v.(*rmiCall)
+		link := m.link(call.from, e.node)
+		// The request is still on the wire until sentAt + wire time.
+		if arrival := call.sentAt + link.WireTime(call.size); arrival > sctx.Now() {
+			sctx.Sleep(arrival - sctx.Now())
+		}
+		sctx.Compute(link.RecvCPU(call.size))
+		res, err := e.class.Dispatch(sctx, obj, call.method, call.args)
+		replySize := 16 // protocol floor: headers, status
+		if !call.void {
+			if s := m.sizer.Size(res); s > replySize {
+				replySize = s
+			}
+		}
+		sctx.Compute(link.SendCPU(replySize))
+		m.stats.count(1, int64(replySize))
+		call.done.Send(sctx, &Completion{
+			Res: res, Err: err,
+			sentAt: sctx.Now(), size: replySize, link: m.link(e.node, call.from),
+		})
+	}
+}
+
 // --- Simulated MPP (message passing) ---------------------------------------
 
 // simMPP models the paper's Java MPP library (nio-based message passing):
@@ -246,7 +377,8 @@ type mppMsg struct {
 	sentAt time.Duration
 	size   int
 	void   bool
-	reply  exec.Chan // nil for one-way
+	reply  exec.Chan // request/reply conversations (nil otherwise)
+	done   exec.Chan // windowed asynchronous invocations (nil otherwise)
 }
 
 type mppReply struct {
@@ -297,7 +429,23 @@ func (m *simMPP) serve(sctx exec.Context, e *exportEntry, obj any) {
 		}
 		sctx.Compute(link.RecvCPU(msg.size))
 		res, err := e.class.Dispatch(sctx, obj, msg.method, msg.args)
-		if msg.reply != nil {
+		switch {
+		case msg.done != nil:
+			// Windowed asynchronous call: acknowledge to the sender's
+			// completion channel over the same transport.
+			size := 16
+			if !msg.void {
+				if s := m.sizer.Size(res); s > size {
+					size = s
+				}
+			}
+			sctx.Compute(link.SendCPU(size))
+			m.stats.count(1, int64(size))
+			msg.done.Send(sctx, &Completion{
+				Res: res, Err: err,
+				sentAt: sctx.Now(), size: size, link: m.link(e.node, msg.from),
+			})
+		case msg.reply != nil:
 			size := 16
 			if !msg.void {
 				if s := m.sizer.Size(res); s > size {
@@ -307,8 +455,7 @@ func (m *simMPP) serve(sctx exec.Context, e *exportEntry, obj any) {
 			sctx.Compute(link.SendCPU(size))
 			m.stats.count(1, int64(size))
 			msg.reply.Send(sctx, &mppReply{res: res, err: err, from: e.node, sentAt: sctx.Now(), size: size})
-		}
-		if msg.reply == nil {
+		default:
 			m.settle()
 		}
 	}
@@ -348,6 +495,33 @@ func (m *simMPP) Invoke(ctx exec.Context, obj any, method string, args []any, vo
 	}
 	ctx.Compute(rlink.RecvCPU(rep.size))
 	return rep.res, rep.err
+}
+
+// InvokeAsync implements AsyncInvoker. Methods configured as one-way keep
+// their fire-and-forget transport — there is no acknowledgement, so the
+// window slot frees immediately (the send cost is the only throttle) and the
+// middleware's Join covers the in-flight message. Request/reply methods get
+// the windowed protocol: the server's per-object loop acknowledges each call
+// to the sender's completion channel.
+func (m *simMPP) InvokeAsync(ctx exec.Context, obj any, method string, args []any, void bool, done exec.Chan) {
+	e, ok := m.reg.lookup(obj)
+	if !ok {
+		done.Send(ctx, &Completion{Err: fmt.Errorf("par: mpp invoke on unexported object (%s)", method)})
+		return
+	}
+	link := m.link(ctx.Node(), e.node)
+	size := m.sizer.Size(args)
+	ctx.Compute(link.SendCPU(size))
+	m.stats.count(1, int64(size))
+	msg := &mppMsg{method: method, args: args, from: ctx.Node(), sentAt: ctx.Now(), size: size, void: void}
+	if m.oneway[method] {
+		m.track(ctx)
+		e.inbox.Send(ctx, msg)
+		done.Send(ctx, &Completion{})
+		return
+	}
+	msg.done = done
+	e.inbox.Send(ctx, msg)
 }
 
 func (m *simMPP) track(ctx exec.Context) {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"aspectpar/internal/aspect"
 	"aspectpar/internal/exec"
@@ -249,7 +250,24 @@ type FarmConfig struct {
 	// Steal tunes the work-stealing scheduler when Stealing is set; the
 	// zero value selects defaults (see StealConfig).
 	Steal StealConfig
+	// Window is the latency-hiding dispatch window of the self-scheduling
+	// schedules (Dynamic and Stealing): each worker keeps up to Window packs
+	// in flight through the distribution middleware instead of blocking on
+	// every round trip, reclaiming completions in completion order. 0
+	// selects DefaultWindow; 1 restores the fully synchronous per-pack
+	// protocol (byte-identical virtual-time schedules to the unwindowed
+	// dispatcher). Without a distribution middleware that supports
+	// AsyncInvoker the window is inert: calls execute inline as before.
+	Window int
 }
+
+// DefaultWindow is the dispatch window the self-scheduling farms use when
+// FarmConfig.Window is zero. Two is double buffering — one pack executing at
+// the replica while the next is on the wire — which hides the round-trip
+// latency almost as completely as deeper windows while claiming the fewest
+// packs: a pack in flight can no longer be stolen, so deep windows re-create
+// the load imbalance the adaptive schedules exist to remove.
+const DefaultWindow = 2
 
 // Farm is the farm partition module (static round-robin, dynamic
 // self-scheduling, or adaptive work-stealing).
@@ -365,31 +383,114 @@ func (f *Farm) nextWorker(n int) int {
 	return i
 }
 
+func (f *Farm) fail(err error) {
+	f.mu.Lock()
+	f.errs = append(f.errs, err)
+	f.mu.Unlock()
+}
+
+// window resolves the dispatch window of this farm's self-scheduling loops:
+// StealConfig.Window (stealing only) overrides FarmConfig.Window, zero
+// selects DefaultWindow.
+func (f *Farm) window() int {
+	w := f.cfg.Window
+	if f.cfg.Stealing && f.cfg.Steal.Window != 0 {
+		w = f.cfg.Steal.Window
+	}
+	switch {
+	case w == 0:
+		return DefaultWindow
+	case w < 1:
+		return 1
+	}
+	return w
+}
+
+// windowSlot is the per-call envelope of the windowed dispatch protocol: the
+// dispatcher attaches it under MarkWindowed; distribution advice that ships
+// the call asynchronously sets issued and the middleware delivers one
+// *Completion on done when the call has been executed.
+type windowSlot struct {
+	done   exec.Chan
+	issued bool
+}
+
+// issuePack ships one pack call with windowed delivery requested. It reports
+// whether the completion will arrive on done; when false the call ran inline
+// — no distribution plugged, the object is local, or the middleware cannot
+// pipeline — and any error was already recorded. The call is deliberately
+// NOT marked void: the synchronous (window=1) protocol ships result payloads
+// in its replies, so the windowed protocol does too — the window is the only
+// variable between the two, keeping latency-hiding measurements honest.
+func (f *Farm) issuePack(ctx exec.Context, w any, args []any, done exec.Chan) bool {
+	slot := &windowSlot{done: done}
+	marks := map[string]any{MarkInternal: true, MarkNoAsync: true, MarkWindowed: slot}
+	if _, err := f.cfg.Class.CallMarked(ctx, marks, w, f.cfg.Method, args...); err != nil && !slot.issued {
+		f.fail(err)
+	}
+	return slot.issued
+}
+
+// reclaimOne blocks for the next completion of this worker's window —
+// completion-ordered reclamation — settles its caller-side reply costs and
+// records its error, if any.
+func (f *Farm) reclaimOne(ctx exec.Context, done exec.Chan) {
+	v, _ := done.Recv(ctx)
+	if _, err := v.(*Completion).Reclaim(ctx); err != nil {
+		f.fail(err)
+	}
+}
+
 // dispatchDynamic implements self-scheduling: a shared work queue and one
 // dispatcher activity per worker pulling from it. The per-piece calls run
-// inline (MarkNoAsync) — the dispatcher activity is the concurrency.
+// inline (MarkNoAsync) — the dispatcher activity is the concurrency. With a
+// window above 1 each dispatcher pipelines: it keeps up to Window packs in
+// flight through the middleware and pulls the next piece as soon as a slot
+// frees, instead of blocking on every synchronous round trip.
 func (f *Farm) dispatchDynamic(ctx exec.Context, workers []any, parts [][]any) error {
 	queue := ctx.NewChan(len(parts))
 	for _, part := range parts {
 		queue.Send(ctx, part)
 	}
 	queue.Close()
+	win := f.window()
 	marks := map[string]any{MarkInternal: true, MarkNoAsync: true}
 	f.beginRound(ctx, len(workers))
 	for i, w := range workers {
 		w := w
 		ctx.Spawn(fmt.Sprintf("farm-worker-%d", i), func(child exec.Context) {
 			defer f.workerDone()
+			if win <= 1 {
+				// Synchronous self-scheduling: one blocking round trip per
+				// pack, byte-identical to the unwindowed protocol.
+				for {
+					part, ok := queue.Recv(child)
+					if !ok {
+						return
+					}
+					if _, err := f.cfg.Class.CallMarked(child, marks, w, f.cfg.Method, part.([]any)...); err != nil {
+						f.fail(err)
+					}
+				}
+			}
+			// Windowed self-scheduling with completion-ordered reclamation.
+			done := child.NewChan(win)
+			inflight := 0
 			for {
 				part, ok := queue.Recv(child)
 				if !ok {
-					return
+					break
 				}
-				if _, err := f.cfg.Class.CallMarked(child, marks, w, f.cfg.Method, part.([]any)...); err != nil {
-					f.mu.Lock()
-					f.errs = append(f.errs, err)
-					f.mu.Unlock()
+				if f.issuePack(child, w, part.([]any), done) {
+					inflight++
+					if inflight == win {
+						f.reclaimOne(child, done)
+						inflight--
+					}
 				}
+			}
+			for ; inflight > 0; inflight-- {
+				f.reclaimOne(child, done)
 			}
 		})
 	}
@@ -406,38 +507,135 @@ func (f *Farm) dispatchDynamic(ctx exec.Context, workers []any, parts [][]any) e
 func (f *Farm) dispatchStealing(ctx exec.Context, workers []any, parts [][]any) error {
 	sched := newStealScheduler(f.cfg.Steal, len(workers))
 	sched.seed(parts)
-	marks := map[string]any{MarkInternal: true, MarkNoAsync: true}
+	win := f.window()
 	f.beginRound(ctx, len(workers))
 	exited := 0 // workers of THIS round that finished (guarded by f.mu)
 	for i, w := range workers {
 		i, w := i, w
 		ctx.Spawn(fmt.Sprintf("steal-worker-%d", i), func(child exec.Context) {
 			defer f.workerDone()
-			for {
-				pk, ok := sched.next(child, i)
-				if !ok {
-					// The round's counters settle only once every worker
-					// is out of its loop; the last one folds them into
-					// the farm total and the scheduler (deques, pack
-					// payloads) becomes garbage.
-					f.mu.Lock()
-					exited++
-					if exited == len(workers) {
-						f.stealTotal.add(sched.stats())
-					}
-					f.mu.Unlock()
-					return
-				}
-				if _, err := f.cfg.Class.CallMarked(child, marks, w, f.cfg.Method, pk.args...); err != nil {
-					f.mu.Lock()
-					f.errs = append(f.errs, err)
-					f.mu.Unlock()
-				}
-				sched.finish()
+			if win <= 1 {
+				f.stealWorkerSync(child, sched, i, w)
+			} else {
+				f.stealWorkerWindowed(child, sched, i, w, win)
 			}
+			// The round's counters settle only once every worker is out of
+			// its loop; the last one folds them into the farm total and the
+			// scheduler (deques, pack payloads) becomes garbage.
+			f.mu.Lock()
+			exited++
+			if exited == len(workers) {
+				f.stealTotal.add(sched.stats())
+			}
+			f.mu.Unlock()
 		})
 	}
 	return nil
+}
+
+// stealWorkerSync is the synchronous (window ≤ 1) stealing worker loop: one
+// blocking round trip per pack, byte-identical to the unwindowed protocol.
+func (f *Farm) stealWorkerSync(child exec.Context, sched *stealScheduler, i int, w any) {
+	marks := map[string]any{MarkInternal: true, MarkNoAsync: true}
+	for {
+		pk, ok := sched.next(child, i)
+		if !ok {
+			return
+		}
+		if _, err := f.cfg.Class.CallMarked(child, marks, w, f.cfg.Method, pk.args...); err != nil {
+			f.fail(err)
+		}
+		sched.finish()
+	}
+}
+
+// stealWorkerWindowed is the latency-hiding stealing worker loop: it obtains
+// packs with the same take/steal/split protocol but keeps up to win of them
+// in flight through the middleware, reclaiming completions — and only then
+// marking packs finished — in completion order. A worker that runs out of
+// obtainable work reclaims its own window first (those completions free
+// slots AND drive the round's termination counter) before falling back to
+// the idle yield/backoff protocol.
+func (f *Farm) stealWorkerWindowed(child exec.Context, sched *stealScheduler, i int, w any, win int) {
+	done := child.NewChan(win)
+	inflight := 0
+	reclaim := func() {
+		f.reclaimOne(child, done)
+		inflight--
+		sched.finish()
+	}
+	// dispatch issues one obtained pack; inline execution (no async
+	// middleware) completes — and finishes — before it returns.
+	dispatch := func(pk stealPack) {
+		if f.issuePack(child, w, pk.args, done) {
+			inflight++
+			if inflight == win {
+				reclaim()
+			}
+		} else {
+			sched.finish()
+		}
+	}
+	backoff := time.Microsecond
+	hungry := false
+	setHungry := func(h bool) {
+		if h != hungry {
+			if h {
+				sched.hungry.Add(1)
+			} else {
+				sched.hungry.Add(-1)
+			}
+			hungry = h
+		}
+	}
+	defer setHungry(false)
+	for {
+		pk, ok, deferred := sched.takeWindowed(i, inflight > 0)
+		if deferred {
+			// The last local pack stays queued — stealable — while the pipe
+			// is busy; reclaim a completion and look again.
+			reclaim()
+			continue
+		}
+		if !ok {
+			// Out of local work: hungry until a pack is obtained, arming
+			// owner-side splitting exactly like the synchronous loop.
+			setHungry(true)
+			pk, ok = sched.trySteal(child, i)
+		}
+		if ok {
+			setHungry(false)
+			backoff = time.Microsecond
+			dispatch(pk)
+			continue
+		}
+		if inflight > 0 {
+			reclaim()
+			continue
+		}
+		if sched.drained() {
+			return
+		}
+		// Idle protocol, as in stealScheduler.next: yield so a victim can
+		// expose work at zero virtual cost, rescan, then back off.
+		exec.Yield(child)
+		if pk, ok := sched.trySteal(child, i); ok {
+			setHungry(false)
+			backoff = time.Microsecond
+			dispatch(pk)
+			continue
+		}
+		if sched.drained() {
+			return
+		}
+		child.Sleep(backoff)
+		if backoff < sched.cfg.MaxBackoff {
+			backoff *= 2
+			if backoff > sched.cfg.MaxBackoff {
+				backoff = sched.cfg.MaxBackoff
+			}
+		}
+	}
 }
 
 // StealStats reports the work-stealing scheduler's counters, summed over

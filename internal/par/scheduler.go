@@ -56,6 +56,11 @@ type StealConfig struct {
 	// MaxBackoff caps the idle worker's exponential backoff sleep; 0
 	// selects 64µs.
 	MaxBackoff time.Duration
+	// Window overrides FarmConfig.Window for the stealing worker loops: the
+	// number of packs each worker keeps in flight through the distribution
+	// middleware. 0 inherits the farm's window; 1 forces the synchronous
+	// per-pack protocol. See FarmConfig.Window.
+	Window int
 }
 
 func (c StealConfig) withDefaults() StealConfig {
@@ -258,6 +263,37 @@ func (s *stealScheduler) take(i int) (stealPack, bool) {
 	return pk, true
 }
 
+// takeWindowed pops worker i's next local pack for a windowed (pipelined)
+// worker loop. With packs already in flight (pipelined), the LAST local pack
+// is not prefetched: deferred reports that it exists but stays queued —
+// visible to thieves and to owner-side splitting — until the worker's window
+// drains. Prefetching it would claim work an idle worker may need: a pack in
+// flight can no longer be stolen, so eager claiming at the fringe re-creates
+// static assignment's imbalance. With an idle pipe (pipelined=false) the
+// behaviour is exactly take's, including the owner-side split rule.
+func (s *stealScheduler) takeWindowed(i int, pipelined bool) (pk stealPack, ok, deferred bool) {
+	d := s.deques[i]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.packs) == 0 {
+		return stealPack{}, false, false
+	}
+	if pipelined && len(d.packs) == 1 {
+		return stealPack{}, false, true
+	}
+	pk = d.packs[0]
+	d.packs = d.packs[1:]
+	if len(d.packs) == 0 && s.hungry.Load() > 0 {
+		if a, b, ok := s.cfg.SplitPack(pk.args); ok {
+			pk = stealPack{args: a}
+			s.remaining.Add(1)
+			d.packs = append(d.packs, stealPack{args: b})
+			s.splits.Add(1)
+		}
+	}
+	return pk, true, false
+}
+
 // trySteal scans the other deques starting at worker i's right neighbour and
 // takes work from the first deque that has any: the back half when several
 // packs queue there, one half of a freshly split pack when only one does.
@@ -322,6 +358,10 @@ func (s *stealScheduler) stealFrom(v *stealDeque, i int) (stealPack, bool) {
 		return stealPack{}, false
 	}
 }
+
+// drained reports whether every pack of the round has finished — the
+// workers' termination signal.
+func (s *stealScheduler) drained() bool { return s.remaining.Load() == 0 }
 
 // finish records the completion of one pack.
 func (s *stealScheduler) finish() {

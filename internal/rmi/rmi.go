@@ -5,6 +5,19 @@
 // network. The simulated experiments use the cost-model twin in package par;
 // this package exists so the distribution concern also runs for real (see
 // examples/distribution and the tests).
+//
+// The transport is pipelined: a client may have many requests on the wire at
+// once over its single TCP connection, and the server answers them in order.
+// Three invocation shapes build on that:
+//
+//   - [Stub.Invoke] — the classic synchronous round trip;
+//   - [Stub.InvokeAsync] — returns a future immediately; the caller overlaps
+//     its own work (or further invocations) with the round trip and collects
+//     the result with wait-by-necessity;
+//   - [Stub.Send] — one-way windowed dispatch: the call returns as soon as
+//     the request is written, bounded by an explicit flow-control window of
+//     unacknowledged sends ([Client.SetSendWindow]); server-side failures are
+//     gathered by [Client.Flush].
 package rmi
 
 import (
@@ -14,6 +27,8 @@ import (
 	"io"
 	"net"
 	"sync"
+
+	"aspectpar/internal/future"
 )
 
 // DispatchFunc executes a method on the exported object — the skeleton side
@@ -30,6 +45,14 @@ func (e *RemoteError) Error() string { return "rmi: remote error: " + e.Msg }
 // ErrNotBound is wrapped in lookup failures for unknown names.
 var ErrNotBound = errors.New("rmi: name not bound")
 
+// ErrClosed is returned for operations on a closed client; pending futures
+// resolve with it when Close interrupts calls mid-window.
+var ErrClosed = errors.New("rmi: client closed")
+
+// DefaultSendWindow is the initial flow-control window of a client: the
+// number of one-way sends that may be unacknowledged before Send blocks.
+const DefaultSendWindow = 32
+
 func init() {
 	// Wire types that cross the connection inside []any.
 	gob.Register([]int32(nil))
@@ -42,11 +65,16 @@ func init() {
 // (gob requires concrete types carried in interfaces to be registered).
 func RegisterType(v any) { gob.Register(v) }
 
-// request/response are the wire protocol.
+// request/response are the wire protocol. Every request — including one-way
+// sends — is answered by exactly one response on the same connection, in
+// request order: one-way responses are bare acknowledgements (no results
+// payload) whose only job is to clock the sender's flow-control window.
 type request struct {
 	Object string
 	Method string
 	Args   []any
+	// OneWay asks the server to acknowledge without shipping results.
+	OneWay bool
 }
 
 type response struct {
@@ -165,12 +193,27 @@ func (s *Server) handle(req *request) *response {
 	if !ok {
 		return &response{Err: fmt.Sprintf("object %q not bound", req.Object)}
 	}
-	results, err := dispatch(req.Method, req.Args)
+	results, err := safeDispatch(dispatch, req.Method, req.Args)
 	resp := &response{Results: results, Bound: true}
+	if req.OneWay {
+		resp.Results = nil // bare acknowledgement
+	}
 	if err != nil {
 		resp.Err = err.Error()
 	}
 	return resp
+}
+
+// safeDispatch runs the servant method, converting a panic into an error so
+// one faulty servant call cannot crash the serving goroutine (and with it the
+// whole connection, taking every pipelined in-flight call down).
+func safeDispatch(dispatch DispatchFunc, method string, args []any) (results []any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			results, err = nil, fmt.Errorf("panic in servant method %s: %v", method, r)
+		}
+	}()
+	return dispatch(method, args)
 }
 
 // Close stops the listener and all connections, then waits for the serving
@@ -198,48 +241,194 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// Client is a connection to an RMI server. Calls on a client serialise over
-// one TCP connection (request/response), like a single RMI transport
-// channel.
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	dec  *gob.Decoder
-	enc  *gob.Encoder
+// pendingReply is one request on the wire awaiting its response. The server
+// answers in request order, so the client keeps a FIFO of these.
+type pendingReply struct {
+	oneWay  bool
+	deliver func(*response, error) // nil for one-way sends
 }
 
-// Dial connects to an RMI server.
+// Client is a pipelined connection to an RMI server: requests are written in
+// call order and a background reader matches the in-order responses back to
+// callers, so many invocations can overlap on one TCP connection (like a
+// single RMI transport channel with HTTP/1.1-style pipelining).
+type Client struct {
+	conn net.Conn
+
+	// sendMu serialises encoder writes; the pending append happens under it
+	// too, so queue order always equals wire order.
+	sendMu sync.Mutex
+	enc    *gob.Encoder
+
+	mu            sync.Mutex
+	cond          *sync.Cond
+	pending       []*pendingReply
+	transport     error // sticky first transport failure
+	closed        bool
+	windowSize    int
+	inFlightSends int     // unacknowledged one-way sends
+	sendErrs      []error // remote failures of one-way sends, drained by Flush
+}
+
+// Dial connects to an RMI server with the default send window.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("rmi: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}, nil
+	c := &Client{conn: conn, enc: gob.NewEncoder(conn), windowSize: DefaultSendWindow}
+	c.cond = sync.NewCond(&c.mu)
+	go c.readLoop(gob.NewDecoder(conn))
+	return c, nil
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// SetSendWindow sets the flow-control window: the maximum number of one-way
+// sends that may be in flight (sent but unacknowledged) before Send blocks.
+// Values below 1 are clamped to 1 (fully synchronous ack-by-ack flow).
+func (c *Client) SetSendWindow(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.mu.Lock()
+	c.windowSize = n
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
 
-func (c *Client) roundTrip(req *request) (*response, error) {
+// Close closes the connection. Calls still in flight — including a window of
+// unacknowledged sends — resolve with ErrClosed rather than blocking forever.
+func (c *Client) Close() error {
+	c.fail(ErrClosed)
+	return c.conn.Close()
+}
+
+// fail records the first transport error, resolves every pending call with
+// it and wakes all blocked senders. Subsequent calls are no-ops: the first
+// failure is the one every caller sees.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.transport != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.transport = err
+	c.closed = true
+	failed := c.pending
+	c.pending = nil
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	for _, p := range failed {
+		if p.deliver != nil {
+			p.deliver(nil, err)
+		}
+	}
+}
+
+// readLoop is the client's single response reader: it decodes responses and
+// completes the head of the pending FIFO, acknowledging one-way sends and
+// resolving futures for two-way calls.
+func (c *Client) readLoop(dec *gob.Decoder) {
+	for {
+		var resp response
+		if err := dec.Decode(&resp); err != nil {
+			if errors.Is(err, io.EOF) {
+				err = fmt.Errorf("rmi: connection closed by server: %w", err)
+			} else {
+				err = fmt.Errorf("rmi: receive: %w", err)
+			}
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		if len(c.pending) == 0 {
+			c.mu.Unlock()
+			c.fail(errors.New("rmi: response without matching request"))
+			return
+		}
+		p := c.pending[0]
+		c.pending = c.pending[1:]
+		if p.oneWay {
+			if resp.Err != "" {
+				c.sendErrs = append(c.sendErrs, &RemoteError{Msg: resp.Err})
+			}
+			c.inFlightSends--
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			continue
+		}
+		c.mu.Unlock()
+		p.deliver(&resp, nil)
+	}
+}
+
+// post enqueues the pending entry and writes the request, preserving FIFO
+// order between the two. An encode failure poisons the connection: gob
+// streams cannot resynchronise after a partial write.
+func (c *Client) post(req *request, p *pendingReply) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	c.mu.Lock()
+	if err := c.transport; err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	c.pending = append(c.pending, p)
+	c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		c.fail(fmt.Errorf("rmi: send: %w", err))
+		return fmt.Errorf("rmi: send: %w", err)
+	}
+	return nil
+}
+
+// call performs one pipelined two-way exchange; the returned future resolves
+// from the reader goroutine when the in-order response arrives (or from the
+// failing path, whichever comes first — resolution is write-once).
+func (c *Client) call(req *request) *future.Future[*response] {
+	f, resolve := future.New[*response]()
+	p := &pendingReply{deliver: func(r *response, err error) { resolve(r, err) }}
+	if err := c.post(req, p); err != nil {
+		resolve(nil, err)
+	}
+	return f
+}
+
+// acquireSendCredit blocks until the flow-control window has room, the
+// window is the paper-style explicit throttle on one-way traffic.
+func (c *Client) acquireSendCredit() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("rmi: send: %w", err)
+	for c.transport == nil && c.inFlightSends >= c.windowSize {
+		c.cond.Wait()
 	}
-	var resp response
-	if err := c.dec.Decode(&resp); err != nil {
-		if errors.Is(err, io.EOF) {
-			return nil, fmt.Errorf("rmi: connection closed by server: %w", err)
-		}
-		return nil, fmt.Errorf("rmi: receive: %w", err)
+	if c.transport != nil {
+		return c.transport
 	}
-	return &resp, nil
+	c.inFlightSends++
+	return nil
+}
+
+// Flush blocks until every outstanding one-way send has been acknowledged
+// and returns the accumulated remote failures (drained: a second Flush
+// reports only newer ones). A transport failure surfaces here too.
+func (c *Client) Flush() error {
+	c.mu.Lock()
+	for c.transport == nil && c.inFlightSends > 0 {
+		c.cond.Wait()
+	}
+	errs := c.sendErrs
+	c.sendErrs = nil
+	if c.transport != nil {
+		errs = append(errs, c.transport)
+	}
+	c.mu.Unlock()
+	return errors.Join(errs...)
 }
 
 // Lookup resolves a name to a stub; it fails with ErrNotBound for unknown
 // names (the client contacting the name server, the paper's modification 3).
 func (c *Client) Lookup(name string) (*Stub, error) {
-	resp, err := c.roundTrip(&request{Object: name})
+	resp, err := c.call(&request{Object: name}).Get()
 	if err != nil {
 		return nil, err
 	}
@@ -260,17 +449,57 @@ type Stub struct {
 // Name returns the bound name this stub refers to.
 func (s *Stub) Name() string { return s.name }
 
-// Invoke performs the remote method invocation.
+// Client returns the connection this stub invokes over.
+func (s *Stub) Client() *Client { return s.client }
+
+// Invoke performs the remote method invocation synchronously.
 func (s *Stub) Invoke(method string, args ...any) ([]any, error) {
-	if method == "" {
-		return nil, errors.New("rmi: empty method name")
-	}
-	resp, err := s.client.roundTrip(&request{Object: s.name, Method: method, Args: args})
-	if err != nil {
-		return nil, err
-	}
-	if resp.Err != "" {
-		return resp.Results, &RemoteError{Msg: resp.Err}
-	}
-	return resp.Results, nil
+	return s.InvokeAsync(method, args...).Get()
 }
+
+// InvokeAsync ships the invocation and returns immediately with a future for
+// its results — asynchronous method invocation with wait-by-necessity. The
+// request is pipelined onto the stub's connection, so a caller that keeps
+// several invocations in flight hides the per-call round-trip latency that a
+// chain of synchronous Invokes would pay serially.
+func (s *Stub) InvokeAsync(method string, args ...any) *future.Future[[]any] {
+	f, resolve := future.New[[]any]()
+	if method == "" {
+		resolve(nil, errors.New("rmi: empty method name"))
+		return f
+	}
+	p := &pendingReply{deliver: func(resp *response, err error) {
+		switch {
+		case err != nil:
+			resolve(nil, err)
+		case resp.Err != "":
+			resolve(resp.Results, &RemoteError{Msg: resp.Err})
+		default:
+			resolve(resp.Results, nil)
+		}
+	}}
+	if err := s.client.post(&request{Object: s.name, Method: method, Args: args}, p); err != nil {
+		resolve(nil, err)
+	}
+	return f
+}
+
+// Send ships a one-way invocation: it returns once the request is written,
+// without waiting for execution, discarding any results. In-flight sends are
+// bounded by the client's flow-control window — Send blocks while a full
+// window of sends is unacknowledged, so a fast producer cannot bury a slow
+// server. Remote failures are reported collectively by Flush.
+func (s *Stub) Send(method string, args ...any) error {
+	if method == "" {
+		return errors.New("rmi: empty method name")
+	}
+	if err := s.client.acquireSendCredit(); err != nil {
+		return err
+	}
+	return s.client.post(&request{Object: s.name, Method: method, Args: args, OneWay: true},
+		&pendingReply{oneWay: true})
+}
+
+// Flush waits for this stub's connection to drain its one-way window; see
+// Client.Flush.
+func (s *Stub) Flush() error { return s.client.Flush() }

@@ -3,8 +3,13 @@ package rmi
 import (
 	"errors"
 	"fmt"
+	"io"
+	"net"
 	"sync"
 	"testing"
+	"time"
+
+	"aspectpar/internal/future"
 )
 
 // startServer exports a counter object and returns the address plus a
@@ -190,4 +195,196 @@ func TestServerCloseIdempotent(t *testing.T) {
 	_, s := startServer(t)
 	s.Close()
 	s.Close()
+}
+
+func TestInvokeAsyncPipelines(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	stub, err := c.Lookup("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Issue a window of invocations before touching any result; the futures
+	// must all resolve, in order, with the accumulated totals.
+	futs := make([]*future.Future[[]any], 0, 8)
+	for i := 0; i < 8; i++ {
+		futs = append(futs, stub.InvokeAsync("Add", int64(1)))
+	}
+	for i, f := range futs {
+		if _, err := f.Get(); err != nil {
+			t.Fatalf("async call %d: %v", i, err)
+		}
+	}
+	res, err := stub.Invoke("Get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].(int64) != 8 {
+		t.Errorf("total = %v, want 8", res[0])
+	}
+}
+
+func TestInvokeAsyncRemoteError(t *testing.T) {
+	addr, _ := startServer(t)
+	c, _ := Dial(addr)
+	defer c.Close()
+	stub, _ := c.Lookup("counter")
+	ok := stub.InvokeAsync("Add", int64(3))
+	bad := stub.InvokeAsync("Fail")
+	if _, err := ok.Get(); err != nil {
+		t.Fatalf("good call failed: %v", err)
+	}
+	var re *RemoteError
+	if _, err := bad.Get(); !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+}
+
+func TestSendWindowAndFlush(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetSendWindow(4)
+	stub, err := c.Lookup("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Far more sends than the window: the acks must clock the window open.
+	for i := 0; i < 100; i++ {
+		if err := stub.Send("Add", int64(1)); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := stub.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	res, err := stub.Invoke("Get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].(int64) != 100 {
+		t.Errorf("total = %v, want 100 (one-way sends lost)", res[0])
+	}
+}
+
+func TestSendRemoteErrorsSurfaceInFlush(t *testing.T) {
+	addr, _ := startServer(t)
+	c, _ := Dial(addr)
+	defer c.Close()
+	stub, _ := c.Lookup("counter")
+	if err := stub.Send("Fail"); err != nil {
+		t.Fatalf("send itself should succeed: %v", err)
+	}
+	if err := stub.Send("Add", int64(2)); err != nil {
+		t.Fatal(err)
+	}
+	err := stub.Flush()
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("Flush = %v, want the Fail send's RemoteError", err)
+	}
+	// The errors were drained: a second Flush is clean.
+	if err := stub.Flush(); err != nil {
+		t.Errorf("second Flush = %v, want nil", err)
+	}
+}
+
+func TestServantPanicRecovered(t *testing.T) {
+	s := NewServer()
+	s.Export("bomb", func(method string, args []any) ([]any, error) {
+		if method == "Boom" {
+			panic("servant bug")
+		}
+		return []any{"ok"}, nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback TCP unavailable: %v", err)
+	}
+	defer s.Close()
+	c, _ := Dial(addr)
+	defer c.Close()
+	stub, err := c.Lookup("bomb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var re *RemoteError
+	if _, err := stub.Invoke("Boom"); !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError carrying the panic", err)
+	}
+	// The connection survived the panic: the next call still works.
+	res, err := stub.Invoke("Ping")
+	if err != nil {
+		t.Fatalf("connection died after recovered panic: %v", err)
+	}
+	if res[0] != "ok" {
+		t.Errorf("res = %v", res)
+	}
+	// One-way sends recover the same way, surfacing through Flush.
+	if err := stub.Send("Boom"); err != nil {
+		t.Fatal(err)
+	}
+	if err := stub.Flush(); !errors.As(err, &re) {
+		t.Errorf("Flush = %v, want RemoteError", err)
+	}
+}
+
+func TestCloseMidWindowResolvesPending(t *testing.T) {
+	// A server that accepts but never answers: every pipelined call stays in
+	// flight until the client is closed, which must resolve them with
+	// ErrClosed instead of leaving callers blocked.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback TCP unavailable: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		io.Copy(io.Discard, conn) // swallow requests, never reply
+	}()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub := &Stub{client: c, name: "void"}
+	f := stub.InvokeAsync("Work")
+	if _, _, ok := f.TryGet(); ok {
+		t.Fatal("future resolved before any response")
+	}
+	// A full window of one-way sends, then one more on another goroutine:
+	// it blocks on flow control until Close unblocks it with an error.
+	c.SetSendWindow(2)
+	for i := 0; i < 2; i++ {
+		if err := stub.Send("Work"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocked := make(chan error, 1)
+	go func() { blocked <- stub.Send("Work") }()
+	select {
+	case err := <-blocked:
+		t.Fatalf("send over a full window returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	c.Close()
+	if _, err := f.Get(); !errors.Is(err, ErrClosed) {
+		t.Errorf("pending invoke resolved with %v, want ErrClosed", err)
+	}
+	if err := <-blocked; !errors.Is(err, ErrClosed) {
+		t.Errorf("blocked send returned %v, want ErrClosed", err)
+	}
+	if err := c.Flush(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Flush = %v, want ErrClosed", err)
+	}
 }

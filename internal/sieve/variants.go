@@ -236,6 +236,10 @@ type Params struct {
 	// Steal tunes the work-stealing scheduler for stealing-farm runs; the
 	// zero value selects the par.StealConfig defaults.
 	Steal par.StealConfig
+	// Window is the latency-hiding dispatch window of the self-scheduling
+	// farms (FarmDRMI, FarmStealing): packs kept in flight per worker. 0
+	// selects par.DefaultWindow, 1 the synchronous per-pack round trip.
+	Window int
 	// KeepPrimes retains the full sorted prime list in Result.Primes —
 	// used by the conformance harness; large sweeps leave it off and
 	// compare checksums.
@@ -474,6 +478,7 @@ func build(c Combo, p Params) (*wiring, error) {
 			Dynamic:  c.Partition == PartDynamicFarm,
 			Stealing: c.Partition == PartStealingFarm,
 			Steal:    p.Steal,
+			Window:   p.Window,
 		})
 		mods = append(mods, w.farm)
 

@@ -1,0 +1,64 @@
+package sieve
+
+import "testing"
+
+// TestWindowedFarmsCloseGapToStaticRMI machine-checks the windowed-dispatch
+// acceptance criterion: on balanced packs (no skew) the self-scheduling
+// farms historically lost to the static FarmRMI — whose concurrency module
+// keeps every pack in flight — by the synchronous round trip they paid per
+// pack. With the dispatch window they must come within 10% of FarmRMI, and
+// strictly beat their own window=1 (synchronous) protocol.
+func TestWindowedFarmsCloseGapToStaticRMI(t *testing.T) {
+	p := PaperParams(8)
+	p.Max = 1_000_000
+
+	static, err := Run(FarmRMI, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []Variant{FarmDRMI, FarmStealing} {
+		windowed, err := Run(v, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps := p
+		ps.Window = 1
+		sync, err := Run(v, ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if windowed.PrimeCount != static.PrimeCount || windowed.PrimeSum != static.PrimeSum {
+			t.Errorf("%s: checksum diverges from FarmRMI", v)
+		}
+		gap := (windowed.Elapsed.Seconds() - static.Elapsed.Seconds()) / static.Elapsed.Seconds()
+		if gap > 0.10 {
+			t.Errorf("%s windowed = %v, FarmRMI = %v: gap %.1f%% exceeds 10%%",
+				v, windowed.Elapsed, static.Elapsed, gap*100)
+		}
+		if windowed.Elapsed >= sync.Elapsed {
+			t.Errorf("%s windowed (%v) did not beat its synchronous window=1 protocol (%v)",
+				v, windowed.Elapsed, sync.Elapsed)
+		}
+	}
+}
+
+// TestWindowDeterministicAcrossRuns pins windowed runs' reproducibility at
+// the sieve level: identical parameters give identical virtual schedules.
+func TestWindowDeterministicAcrossRuns(t *testing.T) {
+	p := PaperParams(6)
+	p.Max = 200_000
+	p.Skew = 4
+	for _, v := range []Variant{FarmDRMI, FarmStealing} {
+		a, err := Run(v, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(v, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Elapsed != b.Elapsed || a.Comm != b.Comm || a.Steals != b.Steals {
+			t.Errorf("%s: windowed runs diverge: %v/%v", v, a.Elapsed, b.Elapsed)
+		}
+	}
+}
