@@ -1,17 +1,19 @@
 // Command sieve runs the prime-sieve case study under any module
-// combination on the simulated testbed — the paper's incremental
-// development workflow as command-line flags.
+// combination — on the simulated testbed by default, or over the real-TCP
+// middleware against running rminode worker daemons with -net.
 //
 // Usage:
 //
 //	sieve [-variant Seq|FarmThreads|PipeRMI|FarmRMI|FarmDRMI|FarmMPP|FarmStealing|HandPipeRMI]
-//	      [-filters N] [-max N] [-packs N] [-skew F] [-verify]
+//	      [-filters N] [-max N] [-packs N] [-skew F] [-window N] [-verify]
+//	      [-net addr1,addr2,...]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"aspectpar/internal/sieve"
@@ -24,6 +26,8 @@ func main() {
 		max     = flag.Int("max", 10_000_000, "largest candidate number")
 		packs   = flag.Int("packs", 50, "number of messages")
 		skew    = flag.Float64("skew", 0, "make every filters-th pack this many times larger (load imbalance)")
+		window  = flag.Int("window", 0, "dispatch window of the self-scheduling farms (0 = default, 1 = synchronous)")
+		netList = flag.String("net", "", "comma-separated rminode addresses: run the variant's cell over the real TCP middleware instead of the simulated testbed")
 		verify  = flag.Bool("verify", false, "cross-check primes against a sequential sieve of Eratosthenes")
 	)
 	flag.Parse()
@@ -32,21 +36,51 @@ func main() {
 	p.Max = int32(*max)
 	p.Packs = *packs
 	p.Skew = *skew
+	p.Window = *window
 
 	start := time.Now()
-	res, err := sieve.Run(sieve.Variant(*variant), p)
+	var res sieve.Result
+	var err error
+	overWire := *netList != ""
+	if overWire {
+		c, ok := sieve.ComboOf(sieve.Variant(*variant))
+		if !ok || c.Distribution == sieve.DistNone {
+			fmt.Fprintf(os.Stderr, "sieve: variant %s has no distribution module to run over the wire\n", *variant)
+			os.Exit(2)
+		}
+		c.Distribution = sieve.DistNet
+		for _, a := range strings.Split(*netList, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				p.NetAddrs = append(p.NetAddrs, a)
+			}
+		}
+		if len(p.NetAddrs) == 0 {
+			fmt.Fprintln(os.Stderr, "sieve: -net given but no addresses parsed")
+			os.Exit(2)
+		}
+		res, err = sieve.RunCombo(c, p)
+	} else {
+		res, err = sieve.Run(sieve.Variant(*variant), p)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sieve:", err)
 		os.Exit(1)
 	}
 	host := time.Since(start)
 
-	pa, co, di := sieve.Table1Row(res.Variant)
+	pa, co, di := sieve.Table1Row(sieve.Variant(*variant))
+	if overWire {
+		di = fmt.Sprintf("netrmi (%d nodes)", len(p.NetAddrs))
+	}
 	fmt.Printf("variant      : %s (partition=%s, concurrency=%s, distribution=%s)\n", res.Variant, pa, co, di)
 	fmt.Printf("filters      : %d\n", res.Filters)
 	fmt.Printf("max prime    : %d in %d packs\n", *max, *packs)
 	fmt.Printf("primes found : %d (sum %d)\n", res.PrimeCount, res.PrimeSum)
-	fmt.Printf("virtual time : %v   (simulated 7-node testbed)\n", res.Elapsed.Round(time.Millisecond))
+	if overWire {
+		fmt.Printf("wire time    : %v   (real TCP, wall clock)\n", res.Elapsed.Round(time.Millisecond))
+	} else {
+		fmt.Printf("virtual time : %v   (simulated 7-node testbed)\n", res.Elapsed.Round(time.Millisecond))
+	}
 	fmt.Printf("host time    : %v\n", host.Round(time.Millisecond))
 	if res.Comm.Messages > 0 {
 		fmt.Printf("middleware   : %d messages, %.1f MB\n", res.Comm.Messages, float64(res.Comm.Bytes)/1e6)

@@ -140,6 +140,25 @@ type Config struct {
 	NsPerOp float64
 }
 
+// DefineClass registers MandelWorker on a domain. It is shared by Build and
+// the rminode worker daemon, which hosts the class server-side for runs over
+// the real middleware — both ends define it identically, so the declared
+// wire types (the Spec constructor argument, row-index packs, rendered rows)
+// agree across the connection.
+func DefineClass(dom *par.Domain) *par.Class {
+	return dom.Define("MandelWorker",
+		func(args []any) (any, error) { return NewWorker(args[0].(Spec)) },
+		map[string]par.MethodBody{
+			"Render": func(target any, args []any) ([]any, error) {
+				target.(*Worker).Render(args[0].([]int32))
+				return nil, nil
+			},
+			"Rows": func(target any, args []any) ([]any, error) {
+				return []any{target.(*Worker).Rows()}, nil
+			},
+		}).Wire(Spec{}, []int32(nil), map[int][]uint16(nil))
+}
+
 // Wiring is the woven application: core class + farm (+ concurrency,
 // distribution, metering as configured).
 type Wiring struct {
@@ -158,17 +177,7 @@ type Wiring struct {
 // dispatch window when the farm is distributed.
 func Build(spec Spec, workers int, cfg Config) *Wiring {
 	w := &Wiring{Dom: par.NewDomain()}
-	w.Class = w.Dom.Define("MandelWorker",
-		func(args []any) (any, error) { return NewWorker(args[0].(Spec)) },
-		map[string]par.MethodBody{
-			"Render": func(target any, args []any) ([]any, error) {
-				target.(*Worker).Render(args[0].([]int32))
-				return nil, nil
-			},
-			"Rows": func(target any, args []any) ([]any, error) {
-				return []any{target.(*Worker).Rows()}, nil
-			},
-		})
+	w.Class = DefineClass(w.Dom)
 	sched := cfg.Schedule
 	if sched == "" {
 		sched = Stealing

@@ -1,12 +1,14 @@
 package mandel
 
 import (
+	"net"
 	"testing"
 	"time"
 
 	"aspectpar/internal/cluster"
 	"aspectpar/internal/exec"
 	"aspectpar/internal/par"
+	"aspectpar/internal/rmi"
 	"aspectpar/internal/sim"
 )
 
@@ -145,4 +147,57 @@ func TestStealingWindowedOverRMI(t *testing.T) {
 		t.Errorf("windowed runs diverge: %v/%v, %+v vs %+v", eWin, eWin2, st, st2)
 	}
 	_ = imgWin2
+}
+
+// TestNetMatchesSequential runs the mandel farm over the real-TCP middleware
+// — par.NetRMI against in-process loopback rmi.Node daemons, each hosting
+// MandelWorker on its own fresh domain — and checks every pixel against the
+// sequential oracle. Both self-scheduling schedules run with the default
+// window (2), exercising the pipelined dispatch path end to end.
+func TestNetMatchesSequential(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback TCP unavailable: %v", err)
+	}
+	ln.Close()
+	spec := DefaultSpec(40, 24)
+	want := Sequential(spec)
+	for _, sched := range []Schedule{Static, Dynamic, Stealing} {
+		sched := sched
+		t.Run(string(sched), func(t *testing.T) {
+			var addrs []string
+			for i := 0; i < 2; i++ {
+				node := rmi.NewNode(exec.Real())
+				par.HostClass(node, DefineClass(par.NewDomain()))
+				addr, err := node.Listen("127.0.0.1:0")
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer node.Close()
+				addrs = append(addrs, addr)
+			}
+			mw := par.NewNetRMI(par.NetAddressTable(addrs...))
+			defer mw.Close()
+			w := Build(spec, 3, Config{
+				Schedule:   sched,
+				Distribute: mw,
+				Placement:  par.RoundRobin(0, len(addrs)),
+			})
+			got, err := w.Render(exec.Real(), spec)
+			if err != nil {
+				t.Fatalf("%s over netrmi: %v", sched, err)
+			}
+			for r := range want {
+				for c := range want[r] {
+					if got[r][c] != want[r][c] {
+						t.Fatalf("%s over netrmi: pixel (%d,%d) = %d, want %d",
+							sched, r, c, got[r][c], want[r][c])
+					}
+				}
+			}
+			if mw.Stats().Messages == 0 {
+				t.Error("no middleware traffic counted — rendering did not cross the wire")
+			}
+		})
+	}
 }

@@ -101,7 +101,8 @@ func NewDistribution(dom *Domain, newPC, callPC aspect.Pointcut, mw Middleware, 
 		d.mu.Unlock()
 		node := d.policy.NodeFor(n - 1)
 		name := fmt.Sprintf("PS%d", n)
-		obj, err := d.mw.ExportNew(ctx, name, node, class, func(rctx exec.Context) (any, error) {
+		ctorArgs := append([]any(nil), jp.Args...)
+		obj, err := d.mw.ExportNew(ctx, name, node, class, ctorArgs, func(rctx exec.Context) (any, error) {
 			// The constructor body (and the metering advice inside it)
 			// executes at the remote node.
 			saved := jp.Ctx

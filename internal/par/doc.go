@@ -107,4 +107,43 @@
 // Completion-ordered reclamation keeps the protocol deterministic under
 // virtual time; window edge cases (1, > packs, failures mid-window) are
 // covered by window_test.go.
+//
+// # Real middleware (NetRMI)
+//
+// The simulated twins model what a remote call costs; [NetRMI] performs it.
+// It implements the same [Middleware] + [AsyncInvoker] seam over package
+// rmi's pipelined TCP transport, so the Distribution module, the Placement
+// policies and the windowed farm dispatchers run unchanged — the module
+// matrix that conformance-tests against the simulated cluster also runs
+// over real sockets (internal/sieve's net matrix, internal/apps/mandel).
+//
+// The process model: every placement node is an rmi.Node worker daemon —
+// cmd/rminode as a separate OS process, or an in-process loopback listener
+// in tests — hosting its own woven domain. [HostClass] adapts a woven
+// [Class] to the node's servant interface: construction runs the node
+// domain's woven construction site and dispatch re-enters its weaver with
+// MarkRemote, exactly like the simulated server side. [NewNetRMI] takes the
+// exec.NodeID → TCP address table ([NetAddressTable] builds one from an
+// ordered list), so Placement policies select among real machines the same
+// way they select simulated nodes.
+//
+// Process separation changes two things. First, construction cannot ship a
+// closure: Middleware.ExportNew receives the construction joinpoint's
+// arguments, NetRMI sends them through the node's creation protocol
+// (rmi.CtlExportNew), the node's own domain runs the constructor, and the
+// caller gets a [NetRef] remote reference whose calls distribution advice
+// redirects — core code never observes the substitution. Wire types are
+// registered with gob from [Class.Wire] metadata on both ends, since both
+// processes define the class identically. Second, the remote domain cannot
+// run client-side modules' server advice, so the pipeline's stage-to-stage
+// forwarding moves to the caller (PipelineConfig.ClientForward).
+//
+// Failure semantics follow the transport: a peer crash resolves in-flight
+// completions with transport errors, client Close resolves them with
+// rmi.ErrClosed (propagated through [Completion.Reclaim]), and one-way void
+// traffic — shipped through the ack-clocked send window — surfaces its
+// remote failures in the middleware's Join, which Stack.Join drains.
+// NetRMI performs real blocking I/O and therefore runs only under the real
+// exec backend, with wall-clock elapsed times; the simulated cells remain
+// the deterministic cost model.
 package par

@@ -35,6 +35,23 @@ type HeartbeatConfig struct {
 	// Exchange moves boundary data between partitions after each step;
 	// nil skips exchange (embarrassingly parallel iteration).
 	Exchange func(ctx exec.Context, workers []any, call HBCall) error
+	// Stealing selects the work-stealing schedule for the step broadcast:
+	// instead of one activity per partition, Runners activities pull
+	// (partition, step) tasks from per-runner deques and steal pending
+	// tasks when their own deque runs dry. A step still executes on its own
+	// partition object — tasks are atomic, only their assignment to driving
+	// activities migrates — so the schedule pays off when step costs are
+	// heterogeneous across partitions or when partitions outnumber the
+	// hardware contexts a broadcast would claim at once.
+	Stealing bool
+	// Runners is the number of driving activities per stealing step; 0
+	// selects one per partition (pure balancing, no oversubscription
+	// relief).
+	Runners int
+	// Steal tunes the stealing schedule (StealOverhead, MaxBackoff). Pack
+	// splitting does not apply — a partition's step is atomic — so
+	// SplitPack and MinSplit are ignored.
+	Steal StealConfig
 }
 
 // Heartbeat is the heartbeat partition module.
@@ -43,9 +60,10 @@ type Heartbeat struct {
 	asp *aspect.Aspect
 	set managedSet
 
-	mu      sync.Mutex
-	wg      exec.WaitGroup
-	pending int
+	mu         sync.Mutex
+	wg         exec.WaitGroup
+	pending    int
+	stealTotal StealStats // folded from finished stealing steps
 }
 
 // NewHeartbeat builds the module.
@@ -95,56 +113,139 @@ func NewHeartbeat(cfg HeartbeatConfig) *Heartbeat {
 		args := jp.Args
 		marks := map[string]any{MarkInternal: true, MarkNoAsync: true}
 
-		barrier := ctx.NewWaitGroup()
-		barrier.Add(len(workers))
-		h.mu.Lock()
-		if h.wg == nil {
-			h.wg = ctx.NewWaitGroup()
-		}
-		h.wg.Add(len(workers))
-		h.pending += len(workers)
-		h.mu.Unlock()
-
-		var errMu sync.Mutex
 		var errs []error
-		for i, w := range workers {
-			w := w
-			ctx.Spawn(fmt.Sprintf("heartbeat-%d", i), func(child exec.Context) {
-				defer func() {
-					barrier.Done()
-					h.mu.Lock()
-					h.pending--
-					wg := h.wg
-					h.mu.Unlock()
-					wg.Done()
-				}()
-				if _, err := cfg.Class.CallMarked(child, marks, w, cfg.StepMethod, args...); err != nil {
-					errMu.Lock()
-					errs = append(errs, err)
-					errMu.Unlock()
-				}
-			})
+		if cfg.Stealing {
+			errs = h.stepStealing(ctx, workers, args, marks)
+		} else {
+			errs = h.stepBroadcast(ctx, workers, args, marks)
 		}
-		barrier.Wait(ctx)
 		if cfg.Exchange != nil {
 			call := func(cctx exec.Context, worker any, method string, cargs ...any) ([]any, error) {
 				return cfg.Class.CallMarked(cctx, marks, worker, method, cargs...)
 			}
 			if err := cfg.Exchange(ctx, workers, call); err != nil {
-				errMu.Lock()
 				errs = append(errs, err)
-				errMu.Unlock()
 			}
 		}
-		errMu.Lock()
-		defer errMu.Unlock()
 		return nil, errors.Join(errs...)
 	})
 	return h
 }
 
+// beginStep registers n step activities with the module's join bookkeeping
+// and returns their barrier.
+func (h *Heartbeat) beginStep(ctx exec.Context, n int) exec.WaitGroup {
+	barrier := ctx.NewWaitGroup()
+	barrier.Add(n)
+	h.mu.Lock()
+	if h.wg == nil {
+		h.wg = ctx.NewWaitGroup()
+	}
+	h.wg.Add(n)
+	h.pending += n
+	h.mu.Unlock()
+	return barrier
+}
+
+func (h *Heartbeat) stepDone(barrier exec.WaitGroup) {
+	barrier.Done()
+	h.mu.Lock()
+	h.pending--
+	wg := h.wg
+	h.mu.Unlock()
+	wg.Done()
+}
+
+// stepBroadcast is the plain schedule: one activity per partition, all
+// spawned at once, joined at the barrier.
+func (h *Heartbeat) stepBroadcast(ctx exec.Context, workers []any, args []any, marks map[string]any) []error {
+	barrier := h.beginStep(ctx, len(workers))
+	var errMu sync.Mutex
+	var errs []error
+	for i, w := range workers {
+		w := w
+		ctx.Spawn(fmt.Sprintf("heartbeat-%d", i), func(child exec.Context) {
+			defer h.stepDone(barrier)
+			if _, err := h.cfg.Class.CallMarked(child, marks, w, h.cfg.StepMethod, args...); err != nil {
+				errMu.Lock()
+				errs = append(errs, err)
+				errMu.Unlock()
+			}
+		})
+	}
+	barrier.Wait(ctx)
+	errMu.Lock()
+	defer errMu.Unlock()
+	return errs
+}
+
+// stepStealing is the work-stealing schedule: the partitions' step calls are
+// dealt as atomic tasks into per-runner deques and Runners activities drain
+// them with the adaptive scheduler's take/steal/backoff protocol. A runner
+// that finishes its cheap partitions steals the pending steps of a loaded
+// one, so heterogeneous step costs stop gating the barrier on the unluckiest
+// pre-assignment — the same cure the stealing farm applies to skewed packs.
+func (h *Heartbeat) stepStealing(ctx exec.Context, workers []any, args []any, marks map[string]any) []error {
+	runners := h.cfg.Runners
+	if runners <= 0 || runners > len(workers) {
+		runners = len(workers)
+	}
+	sc := h.cfg.Steal
+	// A partition's step is not divisible: disable pack splitting outright
+	// rather than letting the default []int32 halver inspect task payloads.
+	sc.SplitPack = func([]any) ([]any, []any, bool) { return nil, nil, false }
+	sched := newStealScheduler(sc, runners)
+	parts := make([][]any, len(workers))
+	for i, w := range workers {
+		parts[i] = []any{w}
+	}
+	sched.seed(parts)
+
+	barrier := h.beginStep(ctx, runners)
+	var errMu sync.Mutex
+	var errs []error
+	for r := 0; r < runners; r++ {
+		r := r
+		ctx.Spawn(fmt.Sprintf("heartbeat-runner-%d", r), func(child exec.Context) {
+			defer h.stepDone(barrier)
+			for {
+				pk, ok := sched.next(child, r)
+				if !ok {
+					return
+				}
+				if _, err := h.cfg.Class.CallMarked(child, marks, pk.args[0], h.cfg.StepMethod, args...); err != nil {
+					errMu.Lock()
+					errs = append(errs, err)
+					errMu.Unlock()
+				}
+				sched.finish()
+			}
+		})
+	}
+	barrier.Wait(ctx)
+	h.mu.Lock()
+	h.stealTotal.add(sched.stats())
+	h.mu.Unlock()
+	errMu.Lock()
+	defer errMu.Unlock()
+	return errs
+}
+
+// StealStats reports the stealing schedule's counters summed over every
+// completed step (zero unless the module was built with Stealing).
+func (h *Heartbeat) StealStats() StealStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stealTotal
+}
+
 // ModuleName implements Module.
-func (h *Heartbeat) ModuleName() string { return fmt.Sprintf("heartbeat(%d)", h.cfg.Workers) }
+func (h *Heartbeat) ModuleName() string {
+	if h.cfg.Stealing {
+		return fmt.Sprintf("stealing-heartbeat(%d)", h.cfg.Workers)
+	}
+	return fmt.Sprintf("heartbeat(%d)", h.cfg.Workers)
+}
 
 // Plug implements Module.
 func (h *Heartbeat) Plug(w *aspect.Weaver) { w.Plug(h.asp) }

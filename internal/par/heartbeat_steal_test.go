@@ -1,0 +1,169 @@
+package par
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"aspectpar/internal/aspect"
+	"aspectpar/internal/cluster"
+	"aspectpar/internal/exec"
+	"aspectpar/internal/sim"
+)
+
+// hbCell is the heartbeat scheduling fixture: a domain partition whose step
+// costs a configurable number of metered operations, so partitions can be
+// made heterogeneous. The steps counter checks that every partition stepped
+// every iteration regardless of which runner drove it.
+type hbCell struct {
+	mu         sync.Mutex
+	id         int
+	opsPerStep int64
+	steps      int
+	ops        int64
+}
+
+func (c *hbCell) TakeOps() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ops := c.ops
+	c.ops = 0
+	return ops
+}
+
+// hbRun executes iters heartbeat iterations of 4 partitions whose step costs
+// are opsByCell, on a 2-context machine, and returns the cells, the elapsed
+// virtual time and the module.
+func hbRun(t *testing.T, iters int, opsByCell []int64, stealing bool, runners int) ([]*hbCell, time.Duration, *Heartbeat) {
+	t.Helper()
+	dom := NewDomain()
+	class := dom.Define("Cell",
+		func(args []any) (any, error) {
+			return &hbCell{id: args[0].(int), opsPerStep: args[1].(int64)}, nil
+		},
+		map[string]MethodBody{
+			"Step": func(target any, args []any) ([]any, error) {
+				c := target.(*hbCell)
+				c.mu.Lock()
+				c.steps++
+				c.ops += c.opsPerStep
+				c.mu.Unlock()
+				return nil, nil
+			},
+		})
+	hb := NewHeartbeat(HeartbeatConfig{
+		Class:   class,
+		Workers: len(opsByCell),
+		WorkerArgs: func(orig []any, i int) []any {
+			return []any{i, opsByCell[i]}
+		},
+		StepMethod: "Step",
+		Stealing:   stealing,
+		Runners:    runners,
+	})
+	meter := NewMetering(aspect.Call("Cell", "*"), 1e6, 0) // 1ms per op
+	stack := NewStack(dom, hb, meter)
+	cl := cluster.New(sim.NewEngine(), cluster.Config{Machines: 1, ContextsPerMachine: 2})
+	var cells []*hbCell
+	err := cl.Run(func(ctx exec.Context) {
+		obj, err := class.New(ctx, 0, int64(0))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for it := 0; it < iters; it++ {
+			if _, err := class.Call(ctx, obj, "Step"); err != nil {
+				t.Error(err)
+			}
+		}
+		if err := stack.Join(ctx); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range hb.Managed() {
+		cells = append(cells, w.(*hbCell))
+	}
+	return cells, cl.Elapsed(), hb
+}
+
+// TestHeartbeatStealingConformance: the stealing schedule must step every
+// partition exactly once per iteration — same observable behaviour as the
+// broadcast schedule — with the scheduler's accounting intact (steps are
+// atomic tasks: no splits, executed == seeded).
+func TestHeartbeatStealingConformance(t *testing.T) {
+	ops := []int64{8, 1, 8, 1}
+	const iters = 3
+	bCells, _, _ := hbRun(t, iters, ops, false, 0)
+	sCells, _, hb := hbRun(t, iters, ops, true, 2)
+	for i := range ops {
+		if bCells[i].steps != iters {
+			t.Errorf("broadcast cell %d: %d steps, want %d", i, bCells[i].steps, iters)
+		}
+		if sCells[i].steps != iters {
+			t.Errorf("stealing cell %d: %d steps, want %d", i, sCells[i].steps, iters)
+		}
+	}
+	stats := hb.StealStats()
+	if stats.Splits != 0 {
+		t.Errorf("atomic step tasks were split: %+v", stats)
+	}
+	if stats.Seeded != int64(len(ops)*iters) || stats.Executed != stats.Seeded {
+		t.Errorf("task accounting broken: %+v (want seeded=executed=%d)", stats, len(ops)*iters)
+	}
+	if stats.Stolen == 0 {
+		t.Errorf("no steps migrated on a skewed deal: %+v", stats)
+	}
+}
+
+// TestHeartbeatStealingBalancesSkewedDeal pins the schedule's reason to
+// exist: with both heavy partitions dealt to the same runner, a non-stealing
+// two-runner split would serialise them (16ms critical path) while stealing
+// migrates one heavy step to the other runner. The stealing elapsed time
+// must stay strictly below that serialised bound.
+func TestHeartbeatStealingBalancesSkewedDeal(t *testing.T) {
+	// Deal order is round-robin, so cells {0,2} (heavy) land on runner 0 and
+	// {1,3} (light) on runner 1.
+	ops := []int64{8, 1, 8, 1}
+	_, elapsed, hb := hbRun(t, 1, ops, true, 2)
+	serialised := 16 * time.Millisecond
+	if elapsed >= serialised {
+		t.Errorf("stealing heartbeat = %v, want < %v (the serialised no-steal bound)", elapsed, serialised)
+	}
+	if hb.StealStats().Stolen == 0 {
+		t.Errorf("balance came without steals: %+v", hb.StealStats())
+	}
+}
+
+// TestHeartbeatStealingDeterministic: identical stealing runs produce
+// bit-identical virtual times and counters.
+func TestHeartbeatStealingDeterministic(t *testing.T) {
+	ops := []int64{5, 1, 3, 1, 2}
+	var elapsed [2]time.Duration
+	var stolen [2]int64
+	for i := range elapsed {
+		_, e, hb := hbRun(t, 4, ops, true, 2)
+		elapsed[i] = e
+		stolen[i] = hb.StealStats().Stolen
+	}
+	if elapsed[0] != elapsed[1] {
+		t.Errorf("elapsed differs across identical runs: %v vs %v", elapsed[0], elapsed[1])
+	}
+	if stolen[0] != stolen[1] {
+		t.Errorf("stolen differs across identical runs: %d vs %d", stolen[0], stolen[1])
+	}
+}
+
+// TestHeartbeatStealingRunnersDefault: Runners 0 selects one runner per
+// partition; the schedule still completes and balances.
+func TestHeartbeatStealingRunnersDefault(t *testing.T) {
+	ops := []int64{4, 1, 1}
+	cells, _, _ := hbRun(t, 2, ops, true, 0)
+	for i, c := range cells {
+		if c.steps != 2 {
+			t.Errorf("cell %d: %d steps, want 2", i, c.steps)
+		}
+	}
+}

@@ -13,16 +13,23 @@ import (
 // Middleware is the distribution substrate interface the Distribution module
 // programs against. The paper's point is precisely that swapping RMI for MPP
 // (or a hybrid) is a one-line change in the distribution aspect; this
-// interface is that seam.
+// interface is that seam. Implementations come in two families: the
+// simulated twins (NewSimRMI, NewSimMPP), which model cost on the virtual
+// cluster, and the real backend (NewNetRMI), which ships calls over TCP to
+// rmi.Node worker processes.
 type Middleware interface {
-	// MiddlewareName identifies the implementation ("rmi", "mpp", ...).
+	// MiddlewareName identifies the implementation ("rmi", "mpp", "netrmi").
 	MiddlewareName() string
 	// ExportNew creates an object remotely: it models the creation protocol
 	// (control message to the node, running build there, reply), registers
 	// the object at the node, and returns it. name follows the paper's
-	// "PS<n>" naming.
+	// "PS<n>" naming. args are the construction joinpoint's arguments — the
+	// wire form of the creation request; build runs the woven constructor
+	// body. In-process middlewares execute build at the placement node's
+	// context; process-separated middlewares ship args to the remote node's
+	// own domain instead and return a client-side remote reference.
 	ExportNew(ctx exec.Context, name string, node exec.NodeID, class *Class,
-		build func(rctx exec.Context) (any, error)) (any, error)
+		args []any, build func(rctx exec.Context) (any, error)) (any, error)
 	// NodeOf reports the placement of an exported object.
 	NodeOf(obj any) (exec.NodeID, bool)
 	// Invoke performs a remote method invocation on an exported object.
@@ -47,7 +54,8 @@ type Completion struct {
 	// Reply-tail accounting: when the completion is delivered the
 	// acknowledgement is still on the wire; these drive Reclaim. They are
 	// zero for completions that model no reply message (e.g. a true one-way
-	// transport), making Reclaim free.
+	// transport) and for the real backend (whose wire time is real), making
+	// Reclaim free.
 	sentAt time.Duration
 	size   int
 	link   simnet.LinkProfile
@@ -139,6 +147,91 @@ func (b *statsBox) get() CommStats {
 	return b.s
 }
 
+// --- Shared middleware core -------------------------------------------------
+
+// replyFloor is the minimum wire size of a reply message: protocol headers
+// and status, shipped even when a void call's acknowledgement carries no
+// payload.
+const replyFloor = 16
+
+// mwCore is the middleware-independent plumbing every Middleware
+// implementation shares: the export registry (the paper's name-server role),
+// the traffic counters, and the payload sizer that feeds both the stats and
+// the simulated cost models. Implementations embed it and inherit Stats and
+// NodeOf.
+type mwCore struct {
+	sizer simnet.Sizer
+	reg   *registry
+	stats statsBox
+}
+
+func newMWCore() mwCore {
+	return mwCore{sizer: simnet.GobSizer{}, reg: newRegistry()}
+}
+
+// Stats implements Middleware.
+func (m *mwCore) Stats() CommStats { return m.stats.get() }
+
+// NodeOf implements Middleware.
+func (m *mwCore) NodeOf(obj any) (exec.NodeID, bool) {
+	e, ok := m.reg.lookup(obj)
+	if !ok {
+		return 0, false
+	}
+	return e.node, true
+}
+
+// entryOf resolves obj's export entry, failing with the uniform
+// invoke-on-unexported-object error.
+func (m *mwCore) entryOf(mwName, method string, obj any) (*exportEntry, error) {
+	e, ok := m.reg.lookup(obj)
+	if !ok {
+		return nil, fmt.Errorf("par: %s invoke on unexported object (%s)", mwName, method)
+	}
+	return e, nil
+}
+
+// replySize returns the wire size of a reply carrying res: the payload size
+// for value-returning calls, the bare acknowledgement floor for void ones.
+func (m *mwCore) replySize(void bool, res []any) int {
+	size := replyFloor
+	if !void {
+		if s := m.sizer.Size(res); s > size {
+			size = s
+		}
+	}
+	return size
+}
+
+// simLinks is the link-profile pair of the simulated middlewares: the remote
+// profile between distinct nodes, the loopback profile for co-located
+// objects.
+type simLinks struct {
+	remote, local simnet.LinkProfile
+}
+
+func newSimLinks(p simnet.LinkProfile) simLinks {
+	return simLinks{remote: p, local: simnet.LoopbackProfile(p)}
+}
+
+func (l simLinks) link(from, to exec.NodeID) simnet.LinkProfile {
+	if from == to {
+		return l.local
+	}
+	return l.remote
+}
+
+// waitArrival is the receiver side of one modelled message transfer: sleep
+// until the message sent at sentAt has fully crossed the wire, then charge
+// the receive/unmarshal CPU to the receiving activity. Both simulated
+// middlewares' dispatch loops share it.
+func waitArrival(sctx exec.Context, link simnet.LinkProfile, sentAt time.Duration, size int) {
+	if arrival := sentAt + link.WireTime(size); arrival > sctx.Now() {
+		sctx.Sleep(arrival - sctx.Now())
+	}
+	sctx.Compute(link.RecvCPU(size))
+}
+
 // --- Simulated Java RMI ----------------------------------------------------
 
 // simRMI models Java RMI on the simulated cluster: synchronous
@@ -146,11 +239,9 @@ func (b *statsBox) get() CommStats {
 // costs on both sides. The woven server side re-enters the domain weaver
 // (Class.Dispatch), exactly like an RMI skeleton invoking the woven method.
 type simRMI struct {
-	cl            *cluster.Cluster
-	sizer         simnet.Sizer
-	remote, local simnet.LinkProfile
-	reg           *registry
-	stats         statsBox
+	mwCore
+	links simLinks
+	cl    *cluster.Cluster
 
 	mu      sync.Mutex
 	inboxes map[any]exec.Chan // per-object async dispatch queues (lazy)
@@ -158,27 +249,15 @@ type simRMI struct {
 
 // NewSimRMI returns an RMI middleware over the simulated cluster.
 func NewSimRMI(cl *cluster.Cluster) Middleware {
-	p := simnet.RMIProfile()
 	return &simRMI{
+		mwCore:  newMWCore(),
+		links:   newSimLinks(simnet.RMIProfile()),
 		cl:      cl,
-		sizer:   simnet.GobSizer{},
-		remote:  p,
-		local:   simnet.LoopbackProfile(p),
-		reg:     newRegistry(),
 		inboxes: make(map[any]exec.Chan),
 	}
 }
 
 func (m *simRMI) MiddlewareName() string { return "rmi" }
-
-func (m *simRMI) Stats() CommStats { return m.stats.get() }
-
-func (m *simRMI) link(from, to exec.NodeID) simnet.LinkProfile {
-	if from == to {
-		return m.local
-	}
-	return m.remote
-}
 
 // oneWay models the transfer of one message: sender-side CPU, wire, and
 // receiver-side CPU charged to rctx's node.
@@ -190,9 +269,9 @@ func (m *simRMI) oneWay(ctx, rctx exec.Context, link simnet.LinkProfile, size in
 }
 
 func (m *simRMI) ExportNew(ctx exec.Context, name string, node exec.NodeID, class *Class,
-	build func(rctx exec.Context) (any, error)) (any, error) {
+	args []any, build func(rctx exec.Context) (any, error)) (any, error) {
 	rctx := ctx.OnNode(node)
-	link := m.link(ctx.Node(), node)
+	link := m.links.link(ctx.Node(), node)
 	// Creation protocol: contact the remote JVM and the name server, build
 	// there, receive the remote reference back.
 	m.oneWay(ctx, rctx, link, 64)
@@ -207,20 +286,12 @@ func (m *simRMI) ExportNew(ctx exec.Context, name string, node exec.NodeID, clas
 	return obj, nil
 }
 
-func (m *simRMI) NodeOf(obj any) (exec.NodeID, bool) {
-	e, ok := m.reg.lookup(obj)
-	if !ok {
-		return 0, false
-	}
-	return e.node, true
-}
-
 func (m *simRMI) Invoke(ctx exec.Context, obj any, method string, args []any, void bool) ([]any, error) {
-	e, ok := m.reg.lookup(obj)
-	if !ok {
-		return nil, fmt.Errorf("par: rmi invoke on unexported object (%s)", method)
+	e, err := m.entryOf("rmi", method, obj)
+	if err != nil {
+		return nil, err
 	}
-	link := m.link(ctx.Node(), e.node)
+	link := m.links.link(ctx.Node(), e.node)
 	rctx := ctx.OnNode(e.node)
 
 	// Request: marshal, wire, unmarshal, dispatch through the woven server.
@@ -228,13 +299,7 @@ func (m *simRMI) Invoke(ctx exec.Context, obj any, method string, args []any, vo
 	res, err := e.class.Dispatch(rctx, obj, method, args)
 	// Reply: RMI is synchronous even for void methods, but a void call
 	// ships only an acknowledgement.
-	replySize := 16 // protocol floor: headers, status
-	if !void {
-		if s := m.sizer.Size(res); s > replySize {
-			replySize = s
-		}
-	}
-	m.oneWay(rctx, ctx, link, replySize)
+	m.oneWay(rctx, ctx, link, m.replySize(void, res))
 	return res, err
 }
 
@@ -256,12 +321,12 @@ type rmiCall struct {
 // executes calls in arrival order and ships acknowledgements back. The
 // caller reclaims the completion — and its reply-tail costs — from done.
 func (m *simRMI) InvokeAsync(ctx exec.Context, obj any, method string, args []any, void bool, done exec.Chan) {
-	e, ok := m.reg.lookup(obj)
-	if !ok {
-		done.Send(ctx, &Completion{Err: fmt.Errorf("par: rmi invoke on unexported object (%s)", method)})
+	e, err := m.entryOf("rmi", method, obj)
+	if err != nil {
+		done.Send(ctx, &Completion{Err: err})
 		return
 	}
-	link := m.link(ctx.Node(), e.node)
+	link := m.links.link(ctx.Node(), e.node)
 	size := m.sizer.Size(args)
 	ctx.Compute(link.SendCPU(size))
 	m.stats.count(1, int64(size))
@@ -297,24 +362,16 @@ func (m *simRMI) serveAsync(sctx exec.Context, e *exportEntry, obj any, inbox ex
 			return
 		}
 		call := v.(*rmiCall)
-		link := m.link(call.from, e.node)
+		link := m.links.link(call.from, e.node)
 		// The request is still on the wire until sentAt + wire time.
-		if arrival := call.sentAt + link.WireTime(call.size); arrival > sctx.Now() {
-			sctx.Sleep(arrival - sctx.Now())
-		}
-		sctx.Compute(link.RecvCPU(call.size))
+		waitArrival(sctx, link, call.sentAt, call.size)
 		res, err := e.class.Dispatch(sctx, obj, call.method, call.args)
-		replySize := 16 // protocol floor: headers, status
-		if !call.void {
-			if s := m.sizer.Size(res); s > replySize {
-				replySize = s
-			}
-		}
+		replySize := m.replySize(call.void, res)
 		sctx.Compute(link.SendCPU(replySize))
 		m.stats.count(1, int64(replySize))
 		call.done.Send(sctx, &Completion{
 			Res: res, Err: err,
-			sentAt: sctx.Now(), size: replySize, link: m.link(e.node, call.from),
+			sentAt: sctx.Now(), size: replySize, link: m.links.link(e.node, call.from),
 		})
 	}
 }
@@ -327,12 +384,10 @@ func (m *simRMI) serveAsync(sctx exec.Context, e *exportEntry, obj any, inbox ex
 // listed as one-way return immediately after the send; others get a
 // request/reply conversation over the same transport.
 type simMPP struct {
-	cl            *cluster.Cluster
-	sizer         simnet.Sizer
-	remote, local simnet.LinkProfile
-	reg           *registry
-	oneway        map[string]bool
-	stats         statsBox
+	mwCore
+	links  simLinks
+	cl     *cluster.Cluster
+	oneway map[string]bool
 
 	mu      sync.Mutex
 	wg      exec.WaitGroup
@@ -343,31 +398,19 @@ type simMPP struct {
 // named in oneWayMethods are fire-and-forget sends (the paper's
 // comm.send of filter packs); all other methods use request/reply.
 func NewSimMPP(cl *cluster.Cluster, oneWayMethods ...string) Middleware {
-	p := simnet.MPPProfile()
 	ow := make(map[string]bool, len(oneWayMethods))
 	for _, m := range oneWayMethods {
 		ow[m] = true
 	}
 	return &simMPP{
+		mwCore: newMWCore(),
+		links:  newSimLinks(simnet.MPPProfile()),
 		cl:     cl,
-		sizer:  simnet.GobSizer{},
-		remote: p,
-		local:  simnet.LoopbackProfile(p),
-		reg:    newRegistry(),
 		oneway: ow,
 	}
 }
 
 func (m *simMPP) MiddlewareName() string { return "mpp" }
-
-func (m *simMPP) Stats() CommStats { return m.stats.get() }
-
-func (m *simMPP) link(from, to exec.NodeID) simnet.LinkProfile {
-	if from == to {
-		return m.local
-	}
-	return m.remote
-}
 
 // mppMsg is one message in an object's inbox.
 type mppMsg struct {
@@ -390,9 +433,9 @@ type mppReply struct {
 }
 
 func (m *simMPP) ExportNew(ctx exec.Context, name string, node exec.NodeID, class *Class,
-	build func(rctx exec.Context) (any, error)) (any, error) {
+	args []any, build func(rctx exec.Context) (any, error)) (any, error) {
 	rctx := ctx.OnNode(node)
-	link := m.link(ctx.Node(), node)
+	link := m.links.link(ctx.Node(), node)
 	// Creation control messages, as in RMI but over the cheaper transport.
 	ctx.Compute(link.SendCPU(64))
 	ctx.Sleep(link.WireTime(64))
@@ -422,36 +465,23 @@ func (m *simMPP) serve(sctx exec.Context, e *exportEntry, obj any) {
 			return
 		}
 		msg := v.(*mppMsg)
-		link := m.link(msg.from, e.node)
+		link := m.links.link(msg.from, e.node)
 		// The message is still on the wire until sentAt + wire time.
-		if arrival := msg.sentAt + link.WireTime(msg.size); arrival > sctx.Now() {
-			sctx.Sleep(arrival - sctx.Now())
-		}
-		sctx.Compute(link.RecvCPU(msg.size))
+		waitArrival(sctx, link, msg.sentAt, msg.size)
 		res, err := e.class.Dispatch(sctx, obj, msg.method, msg.args)
 		switch {
 		case msg.done != nil:
 			// Windowed asynchronous call: acknowledge to the sender's
 			// completion channel over the same transport.
-			size := 16
-			if !msg.void {
-				if s := m.sizer.Size(res); s > size {
-					size = s
-				}
-			}
+			size := m.replySize(msg.void, res)
 			sctx.Compute(link.SendCPU(size))
 			m.stats.count(1, int64(size))
 			msg.done.Send(sctx, &Completion{
 				Res: res, Err: err,
-				sentAt: sctx.Now(), size: size, link: m.link(e.node, msg.from),
+				sentAt: sctx.Now(), size: size, link: m.links.link(e.node, msg.from),
 			})
 		case msg.reply != nil:
-			size := 16
-			if !msg.void {
-				if s := m.sizer.Size(res); s > size {
-					size = s
-				}
-			}
+			size := m.replySize(msg.void, res)
 			sctx.Compute(link.SendCPU(size))
 			m.stats.count(1, int64(size))
 			msg.reply.Send(sctx, &mppReply{res: res, err: err, from: e.node, sentAt: sctx.Now(), size: size})
@@ -461,20 +491,12 @@ func (m *simMPP) serve(sctx exec.Context, e *exportEntry, obj any) {
 	}
 }
 
-func (m *simMPP) NodeOf(obj any) (exec.NodeID, bool) {
-	e, ok := m.reg.lookup(obj)
-	if !ok {
-		return 0, false
-	}
-	return e.node, true
-}
-
 func (m *simMPP) Invoke(ctx exec.Context, obj any, method string, args []any, void bool) ([]any, error) {
-	e, ok := m.reg.lookup(obj)
-	if !ok {
-		return nil, fmt.Errorf("par: mpp invoke on unexported object (%s)", method)
+	e, err := m.entryOf("mpp", method, obj)
+	if err != nil {
+		return nil, err
 	}
-	link := m.link(ctx.Node(), e.node)
+	link := m.links.link(ctx.Node(), e.node)
 	size := m.sizer.Size(args)
 	ctx.Compute(link.SendCPU(size))
 	m.stats.count(1, int64(size))
@@ -489,11 +511,8 @@ func (m *simMPP) Invoke(ctx exec.Context, obj any, method string, args []any, vo
 	e.inbox.Send(ctx, msg)
 	v, _ := msg.reply.Recv(ctx)
 	rep := v.(*mppReply)
-	rlink := m.link(rep.from, ctx.Node())
-	if arrival := rep.sentAt + rlink.WireTime(rep.size); arrival > ctx.Now() {
-		ctx.Sleep(arrival - ctx.Now())
-	}
-	ctx.Compute(rlink.RecvCPU(rep.size))
+	rlink := m.links.link(rep.from, ctx.Node())
+	waitArrival(ctx, rlink, rep.sentAt, rep.size)
 	return rep.res, rep.err
 }
 
@@ -504,12 +523,12 @@ func (m *simMPP) Invoke(ctx exec.Context, obj any, method string, args []any, vo
 // the windowed protocol: the server's per-object loop acknowledges each call
 // to the sender's completion channel.
 func (m *simMPP) InvokeAsync(ctx exec.Context, obj any, method string, args []any, void bool, done exec.Chan) {
-	e, ok := m.reg.lookup(obj)
-	if !ok {
-		done.Send(ctx, &Completion{Err: fmt.Errorf("par: mpp invoke on unexported object (%s)", method)})
+	e, err := m.entryOf("mpp", method, obj)
+	if err != nil {
+		done.Send(ctx, &Completion{Err: err})
 		return
 	}
-	link := m.link(ctx.Node(), e.node)
+	link := m.links.link(ctx.Node(), e.node)
 	size := m.sizer.Size(args)
 	ctx.Compute(link.SendCPU(size))
 	m.stats.count(1, int64(size))

@@ -1,0 +1,334 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"aspectpar/internal/exec"
+	"aspectpar/internal/rmi"
+)
+
+// NetRMI is the real-TCP distribution backend: a Middleware + AsyncInvoker
+// over package rmi's pipelined transport. Where the simulated twins model a
+// remote call's cost, NetRMI performs it — each placement node is an
+// rmi.Node worker daemon (its own process, or an in-process loopback
+// listener in tests) hosting its own woven domain, and calls cross the wire
+// gob-encoded.
+//
+// The seam is symmetric with the simulated middlewares: the Distribution
+// module, the Placement policies and the windowed farm dispatchers run
+// unchanged. Two differences follow from process separation:
+//
+//   - ExportNew cannot run the local build closure remotely, so it ships the
+//     construction joinpoint's arguments to the node's creation protocol
+//     (rmi.CtlExportNew); the node's own domain runs the woven constructor
+//     and NetRMI hands the caller a *NetRef remote reference in place of the
+//     object. Distribution advice redirects every call on the reference, so
+//     core code never observes the substitution.
+//   - Completions carry no reply-tail cost model (the wire time is real), so
+//     Completion.Reclaim is free.
+//
+// Void invocations use the one-way windowed path (rmi.Stub.Send under the
+// client's ack-clocked flow-control window); their remote failures are
+// gathered by Join, which the Distribution module exposes to Stack.Join.
+//
+// NetRMI drives real network I/O and blocks host goroutines, so it must run
+// under the real exec backend (exec.Real) — never inside the virtual-time
+// cluster.
+type NetRMI struct {
+	mwCore
+
+	mu     sync.Mutex
+	addrs  map[exec.NodeID]string
+	peers  map[exec.NodeID]*netPeer
+	stubs  map[any]*rmi.Stub
+	closed bool
+}
+
+// netPeer is one connected worker node: the pipelined client plus its
+// control stub.
+type netPeer struct {
+	client *rmi.Client
+	ctl    *rmi.Stub
+}
+
+// NetRef is the client-side remote reference NetRMI returns from ExportNew:
+// the placed object lives in the node's process, and this token stands in
+// for it in the caller's woven world. Method calls on it are redirected by
+// distribution advice; it must never reach a method body.
+type NetRef struct {
+	Name string
+	Node exec.NodeID
+}
+
+// String renders the reference for diagnostics.
+func (r *NetRef) String() string { return fmt.Sprintf("netref(%s@node%d)", r.Name, r.Node) }
+
+// NewNetRMI returns a middleware over the given node address table:
+// addrs[n] is the TCP address of the rmi.Node daemon playing cluster node n.
+// Placement policies select among exactly these node IDs. Connections are
+// dialled lazily, on first placement or call per node.
+func NewNetRMI(addrs map[exec.NodeID]string) *NetRMI {
+	table := make(map[exec.NodeID]string, len(addrs))
+	for n, a := range addrs {
+		table[n] = a
+	}
+	return &NetRMI{
+		mwCore: newMWCore(),
+		addrs:  table,
+		peers:  make(map[exec.NodeID]*netPeer),
+		stubs:  make(map[any]*rmi.Stub),
+	}
+}
+
+// NetAddressTable builds a node address table from an ordered address list:
+// entry i serves exec.NodeID(i).
+func NetAddressTable(addrs ...string) map[exec.NodeID]string {
+	table := make(map[exec.NodeID]string, len(addrs))
+	for i, a := range addrs {
+		table[exec.NodeID(i)] = a
+	}
+	return table
+}
+
+// Nodes returns the configured node IDs (the placement universe).
+func (m *NetRMI) Nodes() int { return len(m.addrs) }
+
+// MiddlewareName implements Middleware.
+func (m *NetRMI) MiddlewareName() string { return "netrmi" }
+
+// peer returns node's connection, dialling and resolving the control stub on
+// first use. The dial happens outside the middleware lock: a slow or dead
+// peer must not stall operations against the healthy ones (nor block Close).
+func (m *NetRMI) peer(node exec.NodeID) (*netPeer, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, rmi.ErrClosed
+	}
+	if p, ok := m.peers[node]; ok {
+		m.mu.Unlock()
+		return p, nil
+	}
+	addr, ok := m.addrs[node]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("par: netrmi has no address for node %d (have %d nodes)", node, len(m.addrs))
+	}
+	client, err := rmi.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("par: netrmi node %d: %w", node, err)
+	}
+	ctl, err := client.Lookup(rmi.ControlName)
+	if err != nil {
+		client.Close()
+		return nil, fmt.Errorf("par: %s is not an rmi.Node (no control servant): %w", addr, err)
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		client.Close()
+		return nil, rmi.ErrClosed
+	}
+	if p, ok := m.peers[node]; ok {
+		// A concurrent dial won the insert; keep the established peer.
+		m.mu.Unlock()
+		client.Close()
+		return p, nil
+	}
+	p := &netPeer{client: client, ctl: ctl}
+	m.peers[node] = p
+	m.mu.Unlock()
+	return p, nil
+}
+
+// stubOf resolves the remote stub behind an exported reference.
+func (m *NetRMI) stubOf(method string, obj any) (*rmi.Stub, error) {
+	m.mu.Lock()
+	stub, ok := m.stubs[obj]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("par: netrmi invoke on unexported object (%s)", method)
+	}
+	return stub, nil
+}
+
+// ExportNew implements Middleware: it runs the creation protocol against the
+// node's daemon — ship class name, object name and constructor arguments;
+// the node's own domain executes the woven constructor — and returns a
+// *NetRef remote reference. The build closure is not used: the constructor
+// body must run in the remote process, which is exactly what separates this
+// backend from the in-process twins.
+func (m *NetRMI) ExportNew(ctx exec.Context, name string, node exec.NodeID, class *Class,
+	args []any, build func(rctx exec.Context) (any, error)) (any, error) {
+	for _, sample := range class.WireSamples() {
+		rmi.RegisterType(sample)
+	}
+	p, err := m.peer(node)
+	if err != nil {
+		return nil, err
+	}
+	ctlArgs := append([]any{class.Name(), name}, args...)
+	if _, err := p.ctl.Invoke(rmi.CtlExportNew, ctlArgs...); err != nil {
+		return nil, fmt.Errorf("par: netrmi export %s at node %d: %w", name, node, err)
+	}
+	stub, err := p.client.Lookup(name)
+	if err != nil {
+		return nil, fmt.Errorf("par: netrmi export %s at node %d: %w", name, node, err)
+	}
+	m.stats.count(2, int64(m.sizer.Size(ctlArgs)+replyFloor))
+	ref := &NetRef{Name: name, Node: node}
+	if err := m.reg.add(ref, &exportEntry{name: name, node: node, class: class}); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.stubs[ref] = stub
+	m.mu.Unlock()
+	return ref, nil
+}
+
+// Invoke implements Middleware. Void calls take the one-way windowed path:
+// Send returns once the request is written (bounded by the client's
+// flow-control window) and remote failures surface collectively in Join —
+// the semantics the MPP twin gives its one-way methods. Value-returning
+// calls are synchronous round trips.
+func (m *NetRMI) Invoke(ctx exec.Context, obj any, method string, args []any, void bool) ([]any, error) {
+	stub, err := m.stubOf(method, obj)
+	if err != nil {
+		return nil, err
+	}
+	reqSize := m.sizer.Size(args)
+	if void {
+		if err := stub.Send(method, args...); err != nil {
+			return nil, err // nothing crossed the wire: no traffic to count
+		}
+		m.stats.count(2, int64(reqSize+replyFloor))
+		return nil, nil
+	}
+	res, err := stub.Invoke(method, args...)
+	m.stats.count(2, int64(reqSize+m.replySize(false, res)))
+	return res, err
+}
+
+// InvokeAsync implements AsyncInvoker: the call is pipelined onto the node's
+// connection and the completion is delivered when the in-order response
+// arrives. Void calls use the one-way path and complete at send, exactly
+// like the MPP twin's one-way methods (the ack-clocked send window is the
+// throttle; failures surface in Join).
+func (m *NetRMI) InvokeAsync(ctx exec.Context, obj any, method string, args []any, void bool, done exec.Chan) {
+	stub, err := m.stubOf(method, obj)
+	if err != nil {
+		done.Send(ctx, &Completion{Err: err})
+		return
+	}
+	reqSize := m.sizer.Size(args)
+	if void {
+		err := stub.Send(method, args...)
+		if err == nil {
+			m.stats.count(2, int64(reqSize+replyFloor))
+		}
+		done.Send(ctx, &Completion{Err: err})
+		return
+	}
+	m.stats.count(1, int64(reqSize))
+	f := stub.InvokeAsync(method, args...)
+	go func() {
+		res, err := f.Get()
+		m.stats.count(1, int64(m.replySize(false, res)))
+		done.Send(ctx, &Completion{Res: res, Err: err})
+	}()
+}
+
+// Reset asks every configured node to unbind its placed objects (connecting
+// as needed), so a long-running daemon can serve successive runs with fresh
+// "PS<n>" names. Drivers targeting shared daemons call it before placing.
+func (m *NetRMI) Reset() error {
+	var errs []error
+	for node := range m.addrs {
+		p, err := m.peer(node)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if _, err := p.ctl.Invoke(rmi.CtlReset); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Join implements Joiner: it drains every connection's one-way window and
+// returns the gathered remote failures, so Stack.Join observes the void
+// traffic this middleware still has in flight.
+func (m *NetRMI) Join(ctx exec.Context) error {
+	m.mu.Lock()
+	peers := make([]*netPeer, 0, len(m.peers))
+	for _, p := range m.peers {
+		peers = append(peers, p)
+	}
+	m.mu.Unlock()
+	var errs []error
+	for _, p := range peers {
+		if err := p.client.Flush(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Quiet implements Joiner.
+func (m *NetRMI) Quiet() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range m.peers {
+		if p.client.InFlightSends() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Close closes every node connection. Calls in flight resolve with
+// rmi.ErrClosed.
+func (m *NetRMI) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	peers := make([]*netPeer, 0, len(m.peers))
+	for _, p := range m.peers {
+		peers = append(peers, p)
+	}
+	m.mu.Unlock()
+	var errs []error
+	for _, p := range peers {
+		if err := p.client.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// HostClass adapts a woven class to a node's Servant interface: the server
+// side of the real middleware. Construction runs the class's woven
+// construction site (so node-local modules — metering, say — apply) and
+// dispatch re-enters the node domain's weaver with MarkRemote set, exactly
+// like the simulated middlewares' server side.
+func HostClass(n *rmi.Node, class *Class) {
+	n.Host(class.Name(), classServant{class})
+}
+
+type classServant struct{ c *Class }
+
+func (s classServant) New(ctx exec.Context, args []any) (any, error) {
+	return s.c.New(ctx, args...)
+}
+
+func (s classServant) Invoke(ctx exec.Context, obj any, method string, args []any) ([]any, error) {
+	return s.c.Dispatch(ctx, obj, method, args)
+}
+
+func (s classServant) WireTypes() []any { return s.c.WireSamples() }

@@ -85,6 +85,18 @@ type PipelineConfig struct {
 	// to the next stage; returning nil stops propagation at this stage.
 	// nil reuses the sub-call arguments unchanged.
 	Forward func(stage int, results []any, args []any) []any
+	// ClientForward moves call forwarding to the caller's side of the
+	// middleware. The default forwarding advice sits below distribution and
+	// runs where the stage lives — which requires the server side to
+	// re-enter this module's weaver, as the in-process middlewares do. A
+	// process-separated middleware (par.NetRMI) dispatches into the remote
+	// node's own domain, where this module is not plugged; with
+	// ClientForward the forwarding advice sits above distribution instead,
+	// so each stage's results return to the caller and the caller ships
+	// them to the next stage. Results are identical; the traffic pattern
+	// doubles back through the caller on every hop (and forwarded calls
+	// cannot stay void, since the caller needs the results to forward).
+	ClientForward bool
 }
 
 // Pipeline is the pipeline partition module: object duplication into a chain
@@ -163,19 +175,33 @@ func NewPipeline(cfg PipelineConfig) *Pipeline {
 	})
 
 	// Call forwarding (block 3): after a stage processed a call, propagate
-	// it to the next element. This advice sits inside distribution, so it
-	// runs where the stage lives; the generated call is itself woven, so it
-	// travels one middleware hop.
-	p.forward = aspect.NewAspect("pipeline-forward", precForward)
+	// it to the next element. By default this advice sits inside
+	// distribution, so it runs where the stage lives (the server side
+	// re-enters the weaver); the generated call is itself woven, so it
+	// travels one middleware hop. With ClientForward it sits above
+	// distribution instead and runs at the caller — see PipelineConfig.
+	prec := precForward
+	if cfg.ClientForward {
+		prec = precClientForward
+	}
+	p.forward = aspect.NewAspect("pipeline-forward", prec)
 	p.forward.Around(callPC, func(jp *aspect.JoinPoint, proceed aspect.ProceedFunc) ([]any, error) {
-		res, err := proceed(nil)
-		if err != nil {
-			return res, err
+		if cfg.ClientForward && jp.Bool(MarkRemote) {
+			return proceed(nil)
 		}
 		p.mu.Lock()
 		nxt := p.next[jp.Target]
 		stage := p.index[jp.Target]
 		p.mu.Unlock()
+		if cfg.ClientForward && nxt != nil && jp.Bool(MarkVoid) {
+			// The caller must see the results to forward them, so the hop
+			// cannot ship as a bare-acknowledged void call.
+			jp.Set(MarkVoid, false)
+		}
+		res, err := proceed(nil)
+		if err != nil {
+			return res, err
+		}
 		if nxt == nil {
 			return res, nil
 		}

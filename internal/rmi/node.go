@@ -1,0 +1,225 @@
+package rmi
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"aspectpar/internal/exec"
+)
+
+// This file is the process model of the real middleware: a Node is one
+// worker process of a distributed run. It hosts class servers (the woven
+// domain of that process, adapted through the Servant interface so this
+// package does not depend on the weaving layer) and serves the creation
+// protocol plus method dispatch for the objects a remote client placed here.
+//
+// The wire protocol is the ordinary RMI request/response stream: a Node is a
+// Server whose registry holds, besides the placed objects, one reserved
+// control binding (ControlName) that implements the creation protocol — the
+// paper's "control message to the node, running build there, reply".
+
+// ControlName is the reserved binding every Node serves its control verbs
+// under; application objects cannot use it.
+const ControlName = "!node"
+
+// Control verbs served under ControlName.
+const (
+	// CtlExportNew creates an instance of a hosted class and binds it:
+	// args[0] is the class name, args[1] the object name, args[2:] the
+	// constructor arguments.
+	CtlExportNew = "ExportNew"
+	// CtlPing answers with the node's hosted class names (liveness probe and
+	// deployment diagnostics).
+	CtlPing = "Ping"
+	// CtlReset unbinds every placed object, returning the node to its
+	// freshly started state so a daemon can serve successive runs.
+	CtlReset = "Reset"
+)
+
+// Servant is the server side of one hosted class: it constructs instances
+// and dispatches method calls on them. The weaving layer adapts a woven
+// class to this interface (construction and dispatch re-enter the node's
+// own domain), keeping this package free of weaving concerns.
+type Servant interface {
+	// New constructs one instance at this node from constructor arguments.
+	New(ctx exec.Context, args []any) (any, error)
+	// Invoke dispatches a method on an instance — the skeleton side of a
+	// remote call.
+	Invoke(ctx exec.Context, obj any, method string, args []any) ([]any, error)
+	// WireTypes returns sample values of every concrete type the class
+	// carries across the wire inside argument or result lists; the node
+	// registers them with gob so both ends agree on the encoding.
+	WireTypes() []any
+}
+
+// Node is a worker daemon of the real middleware: an RMI server hosting
+// class servers and the creation protocol.
+type Node struct {
+	srv *Server
+	ctx exec.Context
+
+	mu      sync.Mutex
+	classes map[string]Servant
+	objects map[string]string // bound object name -> class name
+}
+
+func init() {
+	// Constructor argument lists travel inside the control request's []any.
+	gob.Register([]any(nil))
+}
+
+// NewNode returns a node whose servants run on ctx (typically exec.Real()).
+func NewNode(ctx exec.Context) *Node {
+	n := &Node{
+		srv:     NewServer(),
+		ctx:     ctx,
+		classes: make(map[string]Servant),
+		objects: make(map[string]string),
+	}
+	n.srv.Export(ControlName, n.control)
+	return n
+}
+
+// Host registers a class server under its name and registers the class's
+// wire types with gob. Hosting the same class name twice replaces the
+// servant (a daemon reloading its application universe).
+func (n *Node) Host(class string, s Servant) {
+	for _, sample := range s.WireTypes() {
+		RegisterType(sample)
+	}
+	n.mu.Lock()
+	n.classes[class] = s
+	n.mu.Unlock()
+}
+
+// Classes lists the hosted class names (diagnostics).
+func (n *Node) Classes() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.classes))
+	for c := range n.classes {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Listen starts serving on addr ("127.0.0.1:0" picks a free port) and
+// returns the bound address.
+func (n *Node) Listen(addr string) (string, error) {
+	return n.srv.Listen(addr)
+}
+
+// Close shuts the node down gracefully, draining in-flight calls (see
+// Server.Close).
+func (n *Node) Close() { n.srv.Close() }
+
+// Abort force-closes the node without draining — the crash the failure-mode
+// tests simulate (see Server.Abort).
+func (n *Node) Abort() { n.srv.Abort() }
+
+// control serves the node's creation protocol.
+func (n *Node) control(method string, args []any) ([]any, error) {
+	switch method {
+	case CtlPing:
+		out := []any{}
+		for _, c := range n.Classes() {
+			out = append(out, c)
+		}
+		return out, nil
+	case CtlExportNew:
+		if len(args) < 2 {
+			return nil, fmt.Errorf("rmi: %s wants (class, name, ctorArgs...), got %d args", CtlExportNew, len(args))
+		}
+		class, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("rmi: %s class argument is %T, want string", CtlExportNew, args[0])
+		}
+		name, ok := args[1].(string)
+		if !ok {
+			return nil, fmt.Errorf("rmi: %s name argument is %T, want string", CtlExportNew, args[1])
+		}
+		return nil, n.exportNew(class, name, args[2:])
+	case CtlReset:
+		n.reset()
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("rmi: unknown control verb %q", method)
+	}
+}
+
+// exportNew runs the server side of the creation protocol: construct through
+// the class server (the woven constructor body executes here, at the node)
+// and bind the instance. Binding an already bound name fails — object names
+// identify placements, so a silent rebind would orphan a live object.
+func (n *Node) exportNew(class, name string, ctorArgs []any) error {
+	if name == ControlName {
+		return fmt.Errorf("rmi: object name %q is reserved", name)
+	}
+	n.mu.Lock()
+	servant, ok := n.classes[class]
+	if !ok {
+		hosted := make([]string, 0, len(n.classes))
+		for c := range n.classes {
+			hosted = append(hosted, c)
+		}
+		n.mu.Unlock()
+		return fmt.Errorf("rmi: node hosts no class %q (have %v)", class, hosted)
+	}
+	if owner, dup := n.objects[name]; dup {
+		n.mu.Unlock()
+		return fmt.Errorf("rmi: object %q already exported (class %s)", name, owner)
+	}
+	// Reserve the name before the (possibly slow) construction so a racing
+	// duplicate export fails instead of building twice.
+	n.objects[name] = class
+	n.mu.Unlock()
+
+	obj, err := n.construct(servant, class, ctorArgs)
+	if err != nil {
+		n.mu.Lock()
+		delete(n.objects, name)
+		n.mu.Unlock()
+		return err
+	}
+	// Bind only if the reservation survived: a reset that ran during the
+	// construction has already disowned this name, and binding anyway would
+	// leave a live object the tracking map no longer knows about.
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if owner, still := n.objects[name]; !still || owner != class {
+		return fmt.Errorf("rmi: export of %q interrupted by a reset", name)
+	}
+	n.srv.Export(name, func(method string, args []any) ([]any, error) {
+		return servant.Invoke(n.ctx, obj, method, args)
+	})
+	return nil
+}
+
+// construct runs the servant constructor, converting a panic (a skewed
+// driver shipping arguments the hosted class cannot digest) into an error so
+// the caller's reserve-then-release bookkeeping always releases — a panic
+// escaping here would be recovered by the connection's dispatch guard with
+// the name still reserved, wedging it until a reset.
+func (n *Node) construct(servant Servant, class string, ctorArgs []any) (obj any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			obj, err = nil, fmt.Errorf("rmi: panic constructing %s: %v", class, r)
+		}
+	}()
+	return servant.New(n.ctx, ctorArgs)
+}
+
+// reset unbinds every placed object.
+func (n *Node) reset() {
+	n.mu.Lock()
+	names := make([]string, 0, len(n.objects))
+	for name := range n.objects {
+		names = append(names, name)
+	}
+	n.objects = make(map[string]string)
+	n.mu.Unlock()
+	for _, name := range names {
+		n.srv.Unexport(name)
+	}
+}

@@ -1,0 +1,159 @@
+package rmi
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"aspectpar/internal/exec"
+)
+
+// adderServant is a minimal class server: instances accumulate int64 values.
+type adderServant struct{}
+
+type adder struct {
+	mu    sync.Mutex
+	total int64
+}
+
+func (adderServant) New(ctx exec.Context, args []any) (any, error) {
+	a := &adder{}
+	if len(args) > 0 {
+		a.total = args[0].(int64)
+	}
+	return a, nil
+}
+
+func (adderServant) Invoke(ctx exec.Context, obj any, method string, args []any) ([]any, error) {
+	a := obj.(*adder)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch method {
+	case "Add":
+		a.total += args[0].(int64)
+		return nil, nil
+	case "Get":
+		return []any{a.total}, nil
+	default:
+		return nil, errors.New("no method " + method)
+	}
+}
+
+func (adderServant) WireTypes() []any { return nil }
+
+func startNode(t *testing.T) (string, *Node) {
+	t.Helper()
+	n := NewNode(exec.Real())
+	n.Host("Adder", adderServant{})
+	addr, err := n.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback TCP unavailable: %v", err)
+	}
+	t.Cleanup(n.Close)
+	return addr, n
+}
+
+func TestNodeCreationProtocol(t *testing.T) {
+	addr, _ := startNode(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctl, err := c.Lookup(ControlName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Invoke(CtlExportNew, "Adder", "PS1", int64(40)); err != nil {
+		t.Fatalf("ExportNew: %v", err)
+	}
+	stub, err := c.Lookup("PS1")
+	if err != nil {
+		t.Fatalf("placed object not bound: %v", err)
+	}
+	if _, err := stub.Invoke("Add", int64(2)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := stub.Invoke("Get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].(int64) != 42 {
+		t.Errorf("total = %v, want 42 (ctor arg + Add)", res[0])
+	}
+}
+
+func TestNodeDoubleExportRejected(t *testing.T) {
+	addr, _ := startNode(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctl, err := c.Lookup(ControlName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Invoke(CtlExportNew, "Adder", "PS1"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = ctl.Invoke(CtlExportNew, "Adder", "PS1")
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("second export of PS1 = %v, want RemoteError", err)
+	}
+	if !strings.Contains(re.Msg, "already exported") {
+		t.Errorf("error %q should name the duplicate binding", re.Msg)
+	}
+	// The original binding survived the rejected duplicate.
+	stub, err := c.Lookup("PS1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stub.Invoke("Add", int64(1)); err != nil {
+		t.Errorf("original object broken after rejected duplicate: %v", err)
+	}
+}
+
+func TestNodeUnknownClassAndVerb(t *testing.T) {
+	addr, _ := startNode(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctl, _ := c.Lookup(ControlName)
+	if _, err := ctl.Invoke(CtlExportNew, "NoSuchClass", "PS1"); err == nil {
+		t.Error("export of unhosted class should fail")
+	}
+	if _, err := ctl.Invoke("Nonsense"); err == nil {
+		t.Error("unknown control verb should fail")
+	}
+	if _, err := ctl.Invoke(CtlExportNew, "Adder", ControlName); err == nil {
+		t.Error("export under the reserved control name should fail")
+	}
+}
+
+func TestNodeReset(t *testing.T) {
+	addr, _ := startNode(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctl, _ := c.Lookup(ControlName)
+	if _, err := ctl.Invoke(CtlExportNew, "Adder", "PS1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Invoke(CtlReset); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lookup("PS1"); !errors.Is(err, ErrNotBound) {
+		t.Errorf("PS1 after reset: %v, want ErrNotBound", err)
+	}
+	// The name is free again.
+	if _, err := ctl.Invoke(CtlExportNew, "Adder", "PS1"); err != nil {
+		t.Errorf("re-export after reset: %v", err)
+	}
+}

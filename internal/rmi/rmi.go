@@ -27,6 +27,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"aspectpar/internal/future"
 )
@@ -216,12 +217,50 @@ func safeDispatch(dispatch DispatchFunc, method string, args []any) (results []a
 	return dispatch(method, args)
 }
 
-// Close stops the listener and all connections, then waits for the serving
-// goroutines.
+// closeDrainGrace bounds Close's graceful drain: a serving goroutine stuck
+// past it — a servant that never returns, or a response write to a peer that
+// stopped reading — is cut off by force-closing its connection, so Close
+// cannot hang on a wedged peer.
+var closeDrainGrace = 30 * time.Second
+
+// Close stops the listener and shuts down every connection deterministically:
+// it closes each connection's read side, so no new request can arrive, and
+// then waits for the serving goroutines to finish the calls already being
+// dispatched and write their responses on the still-open write side. A call
+// in flight at Close therefore completes normally at its caller instead of
+// surfacing as a spurious transport or remote error from a half-written
+// response. Close blocks until every in-flight call has drained, escalating
+// to a forced disconnect after closeDrainGrace; to model a crash that
+// abandons in-flight calls immediately, use Abort.
 func (s *Server) Close() {
+	s.shutdown(false)
+}
+
+// Abort force-closes the listener and every connection without draining:
+// calls in flight are abandoned mid-dispatch and their clients observe a
+// transport failure — the behaviour of a crashed peer, which the distributed
+// failure-mode tests need to provoke on demand. Abort still waits for the
+// serving goroutines to exit.
+func (s *Server) Abort() {
+	s.shutdown(true)
+}
+
+func (s *Server) shutdown(abort bool) {
 	s.mu.Lock()
 	if s.closed {
+		// Repeated shutdown: an Abort overtaking a graceful drain still
+		// force-closes the remaining connections (its contract is immediate
+		// abandonment); anything else just waits for the first shutdown.
+		var conns []net.Conn
+		if abort {
+			for c := range s.conns {
+				conns = append(conns, c)
+			}
+		}
 		s.mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
 		s.wg.Wait()
 		return
 	}
@@ -236,9 +275,44 @@ func (s *Server) Close() {
 		ln.Close()
 	}
 	for _, c := range conns {
-		c.Close()
+		if abort {
+			c.Close()
+		} else {
+			closeRead(c)
+		}
 	}
-	s.wg.Wait()
+	if abort {
+		s.wg.Wait()
+		return
+	}
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-time.After(closeDrainGrace):
+		// The drain is stuck — abandon the wedged connections and wait for
+		// their serving goroutines to observe the forced close.
+		for _, c := range conns {
+			c.Close()
+		}
+		<-drained
+	}
+}
+
+// closeRead shuts down the receive side of a connection so the serving loop's
+// next Decode fails deterministically while responses already being computed
+// can still be written. Transports without half-close fall back to an
+// immediate read deadline, which unblocks a pending Decode the same way.
+func closeRead(conn net.Conn) {
+	type readCloser interface{ CloseRead() error }
+	if rc, ok := conn.(readCloser); ok {
+		rc.CloseRead()
+		return
+	}
+	conn.SetReadDeadline(time.Now())
 }
 
 // pendingReply is one request on the wire awaiting its response. The server
@@ -315,6 +389,10 @@ func (c *Client) fail(err error) {
 	c.closed = true
 	failed := c.pending
 	c.pending = nil
+	// Nothing is in flight on a dead connection: the loss itself is reported
+	// by Flush's transport error, so the window must not stay pinned open —
+	// quiescence checks would otherwise never settle.
+	c.inFlightSends = 0
 	c.cond.Broadcast()
 	c.mu.Unlock()
 	for _, p := range failed {
@@ -406,6 +484,14 @@ func (c *Client) acquireSendCredit() error {
 	}
 	c.inFlightSends++
 	return nil
+}
+
+// InFlightSends reports the number of one-way sends currently unacknowledged
+// (middleware quiescence checks use it).
+func (c *Client) InFlightSends() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inFlightSends
 }
 
 // Flush blocks until every outstanding one-way send has been acknowledged

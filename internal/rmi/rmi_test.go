@@ -336,6 +336,93 @@ func TestServantPanicRecovered(t *testing.T) {
 	}
 }
 
+func TestCloseDrainsInFlightCall(t *testing.T) {
+	// Server.Close while a servant call is executing: the shutdown must wait
+	// for the call and deliver its real response — not tear the connection
+	// down under the half-finished dispatch and surface a spurious error.
+	s := NewServer()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s.Export("slow", func(method string, args []any) ([]any, error) {
+		close(started)
+		<-release
+		return []any{"done"}, nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback TCP unavailable: %v", err)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	stub, err := c.Lookup("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := stub.InvokeAsync("Work")
+	<-started
+	closed := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a call was still dispatching")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	res, err := f.Get()
+	if err != nil {
+		t.Fatalf("in-flight call across Close failed: %v", err)
+	}
+	if res[0] != "done" {
+		t.Errorf("res = %v, want the servant's real result", res)
+	}
+	<-closed
+}
+
+func TestAbortAbandonsInFlightCall(t *testing.T) {
+	// Abort is the crash twin of Close: the in-flight call's client must
+	// observe a transport failure, not hang.
+	s := NewServer()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s.Export("slow", func(method string, args []any) ([]any, error) {
+		close(started)
+		<-release
+		return []any{"done"}, nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback TCP unavailable: %v", err)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	stub, err := c.Lookup("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := stub.InvokeAsync("Work")
+	<-started
+	aborted := make(chan struct{})
+	go func() {
+		s.Abort()
+		close(aborted)
+	}()
+	// The client sees the connection die without waiting for the servant.
+	if _, err := f.Get(); err == nil {
+		t.Error("call across Abort should fail with a transport error")
+	}
+	close(release) // let the abandoned servant finish so Abort's drain completes
+	<-aborted
+}
+
 func TestCloseMidWindowResolvesPending(t *testing.T) {
 	// A server that accepts but never answers: every pipelined call stays in
 	// flight until the client is closed, which must resolve them with

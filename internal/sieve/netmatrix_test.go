@@ -1,0 +1,114 @@
+package sieve
+
+import (
+	"net"
+	"testing"
+)
+
+// These tests are the real-TCP half of the conformance harness: the same
+// module matrix, with the distribution axis running over par.NetRMI against
+// in-process loopback rmi.Node daemons — each with its own fresh domain, the
+// process model of a distributed deployment. Results must match both the
+// hand-coded sequential oracle and the simulated-RMI cells bit for bit.
+
+func requireLoopback(t *testing.T) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback TCP unavailable: %v", err)
+	}
+	ln.Close()
+}
+
+// netParams is matrixParams over two loopback node daemons.
+func netParams() Params {
+	p := matrixParams()
+	p.NetNodes = 2
+	return p
+}
+
+// TestNetMatrixConformance runs every net cell of the module matrix — each
+// partition × concurrency pair over the real middleware — and checks the
+// computed primes against the hand-coded sequential oracle.
+func TestNetMatrixConformance(t *testing.T) {
+	requireLoopback(t)
+	p := netParams()
+	want, err := HandSequential(p.Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combos := NetCombos()
+	if len(combos) != 6 {
+		t.Fatalf("NetCombos() = %d cells, want 6", len(combos))
+	}
+	for _, c := range combos {
+		c := c
+		t.Run(c.String(), func(t *testing.T) {
+			res, err := RunCombo(c, p)
+			if err != nil {
+				t.Fatalf("%s: %v", c, err)
+			}
+			assertPrimesEqual(t, res.Primes, want)
+			if res.Comm.Messages == 0 {
+				t.Errorf("%s: no middleware traffic counted — calls did not cross the wire", c)
+			}
+		})
+	}
+}
+
+// TestNetMatchesSimulatedRMI is the acceptance criterion of the real
+// backend: FarmRMI, FarmDRMI and FarmStealing over par.NetRMI (window 2, so
+// the self-scheduling farms exercise the pipelined path and the static
+// farm's void calls the one-way send window) compute exactly the primes of
+// their simulated-RMI twins.
+func TestNetMatchesSimulatedRMI(t *testing.T) {
+	requireLoopback(t)
+	p := netParams()
+	p.Window = 2
+	for _, cell := range []Combo{
+		{PartFarm, ConcAsync, DistRMI},          // FarmRMI
+		{PartDynamicFarm, ConcMerged, DistRMI},  // FarmDRMI
+		{PartStealingFarm, ConcMerged, DistRMI}, // FarmStealing
+	} {
+		cell := cell
+		t.Run(cell.String(), func(t *testing.T) {
+			simRes, err := RunCombo(cell, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			netCell := cell
+			netCell.Distribution = DistNet
+			netRes, err := RunCombo(netCell, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertPrimesEqual(t, netRes.Primes, simRes.Primes)
+			if netRes.PrimeCount != simRes.PrimeCount || netRes.PrimeSum != simRes.PrimeSum {
+				t.Errorf("checksums diverge: net %d/%d vs sim %d/%d",
+					netRes.PrimeCount, netRes.PrimeSum, simRes.PrimeCount, simRes.PrimeSum)
+			}
+		})
+	}
+}
+
+// TestNetWindowOne pins the synchronous degradation over the real transport:
+// window 1 must produce the same primes as the pipelined window.
+func TestNetWindowOne(t *testing.T) {
+	requireLoopback(t)
+	p := netParams()
+	p.Window = 1
+	want, err := HandSequential(p.Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []Combo{
+		{PartDynamicFarm, ConcMerged, DistNet},
+		{PartStealingFarm, ConcMerged, DistNet},
+	} {
+		res, err := RunCombo(c, p)
+		if err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		assertPrimesEqual(t, res.Primes, want)
+	}
+}

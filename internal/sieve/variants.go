@@ -9,6 +9,7 @@ import (
 	"aspectpar/internal/cluster"
 	"aspectpar/internal/exec"
 	"aspectpar/internal/par"
+	"aspectpar/internal/rmi"
 	"aspectpar/internal/sim"
 )
 
@@ -79,11 +80,15 @@ const (
 // DistributionKind is the distribution axis of the module matrix.
 type DistributionKind string
 
-// The distribution choices.
+// The distribution choices. DistNone/DistRMI/DistMPP run on the simulated
+// cluster under virtual time; DistNet runs the same woven stack over real
+// TCP — par.NetRMI against rmi.Node worker daemons — under the real exec
+// backend (wall-clock elapsed times, no cost model).
 const (
 	DistNone DistributionKind = "none"
 	DistRMI  DistributionKind = "rmi"
 	DistMPP  DistributionKind = "mpp"
+	DistNet  DistributionKind = "net"
 )
 
 // Combo is one cell of the partition × concurrency × distribution matrix.
@@ -125,23 +130,22 @@ func (c Combo) Validate() error {
 		return fmt.Errorf("sieve: unknown partition %q", c.Partition)
 	}
 	switch c.Distribution {
-	case DistNone, DistRMI, DistMPP:
+	case DistNone, DistRMI, DistMPP, DistNet:
 	default:
 		return fmt.Errorf("sieve: unknown distribution %q", c.Distribution)
 	}
 	return nil
 }
 
-// AllCombos enumerates every valid cell of the module matrix: each partition
-// with every concurrency choice it admits, times every distribution.
+// AllCombos enumerates every valid simulated cell of the module matrix: each
+// partition with every concurrency choice it admits, times every simulated
+// distribution. The real-TCP cells are enumerated separately by NetCombos —
+// they run under wall-clock time, so sweeps that want deterministic virtual
+// times exclude them.
 func AllCombos() []Combo {
 	var out []Combo
 	for _, part := range []PartitionKind{PartPipeline, PartFarm, PartDynamicFarm, PartStealingFarm} {
-		concs := []ConcurrencyKind{ConcNone, ConcAsync}
-		if part.selfScheduling() {
-			concs = []ConcurrencyKind{ConcMerged}
-		}
-		for _, conc := range concs {
+		for _, conc := range part.concurrencies() {
 			for _, dist := range []DistributionKind{DistNone, DistRMI, DistMPP} {
 				out = append(out, Combo{Partition: part, Concurrency: conc, Distribution: dist})
 			}
@@ -150,9 +154,31 @@ func AllCombos() []Combo {
 	return out
 }
 
-// comboOf maps a named variant to its matrix cell; ok is false for the
-// special rows (Seq, HandPipeRMI) that are not woven combinations.
-func comboOf(v Variant) (Combo, bool) {
+// NetCombos enumerates the module-matrix cells that run over the real-TCP
+// middleware: every partition × concurrency pair with DistNet.
+func NetCombos() []Combo {
+	var out []Combo
+	for _, part := range []PartitionKind{PartPipeline, PartFarm, PartDynamicFarm, PartStealingFarm} {
+		for _, conc := range part.concurrencies() {
+			out = append(out, Combo{Partition: part, Concurrency: conc, Distribution: DistNet})
+		}
+	}
+	return out
+}
+
+// concurrencies lists the concurrency choices a partition admits.
+func (p PartitionKind) concurrencies() []ConcurrencyKind {
+	if p.selfScheduling() {
+		return []ConcurrencyKind{ConcMerged}
+	}
+	return []ConcurrencyKind{ConcNone, ConcAsync}
+}
+
+// ComboOf maps a named variant to its matrix cell; ok is false for the
+// special rows (Seq, HandPipeRMI) that are not woven combinations. Callers
+// that want a named variant over a different distribution (e.g. the real
+// middleware) take the cell and swap the axis.
+func ComboOf(v Variant) (Combo, bool) {
 	switch v {
 	case FarmThreads:
 		return Combo{PartFarm, ConcAsync, DistNone}, true
@@ -244,6 +270,15 @@ type Params struct {
 	// used by the conformance harness; large sweeps leave it off and
 	// compare checksums.
 	KeepPrimes bool
+	// NetAddrs lists rmi.Node worker daemon addresses for DistNet runs:
+	// entry i plays exec.NodeID(i), the universe Placement policies select
+	// from. Empty launches NetNodes in-process loopback node daemons for the
+	// duration of the run — each with its own fresh domain, the process
+	// model without the processes.
+	NetAddrs []string
+	// NetNodes is the number of in-process loopback daemons a DistNet run
+	// launches when NetAddrs is empty; 0 selects 2.
+	NetNodes int
 }
 
 // PaperParams returns the evaluation parameters of Section 6.
@@ -303,7 +338,7 @@ func Run(v Variant, p Params) (Result, error) {
 	case Seq:
 		return runWoven(v, Combo{}, p)
 	}
-	c, ok := comboOf(v)
+	c, ok := ComboOf(v)
 	if !ok {
 		return Result{}, fmt.Errorf("sieve: unknown variant %q", v)
 	}
@@ -323,9 +358,12 @@ func RunCombo(c Combo, p Params) (Result, error) {
 	return runWoven(Variant(c.String()), c, p)
 }
 
-// defineClass registers PrimeFilter on a fresh domain: the bodies delegate
-// to the sequential core, the call sites route through the weaver.
-func defineClass(dom *par.Domain) *par.Class {
+// DefineClass registers PrimeFilter on a domain: the bodies delegate to the
+// sequential core, the call sites route through the weaver. It is shared by
+// the in-process runs and the rminode worker daemon, which hosts the class
+// server-side — both ends of a DistNet run define it identically, so the
+// declared wire types agree.
+func DefineClass(dom *par.Domain) *par.Class {
 	return dom.Define("PrimeFilter",
 		func(args []any) (any, error) {
 			return NewPrimeFilter(args[0].(int32), args[1].(int32))
@@ -340,7 +378,7 @@ func defineClass(dom *par.Domain) *par.Class {
 			"Accepted": func(target any, args []any) ([]any, error) {
 				return []any{target.(*PrimeFilter).Accepted()}, nil
 			},
-		})
+		}).Wire(int32(0), []int32(nil))
 }
 
 // splitPacks divides the candidate list argument into p.Packs packs — the
@@ -419,6 +457,7 @@ type wiring struct {
 	class *par.Class
 	stack *par.Stack
 	cl    *cluster.Cluster
+	net   *netEnv // real-TCP runs only
 
 	pipe    *par.Pipeline
 	farm    *par.Farm
@@ -427,12 +466,74 @@ type wiring struct {
 	packing *par.Packing
 }
 
+// netEnv is the environment of one DistNet run: the node daemons (owned when
+// launched in-process, borrowed when the run targets external rminode
+// processes) and the middleware over them.
+type netEnv struct {
+	nodes []*rmi.Node // owned loopback daemons (nil entries never happen)
+	mw    *par.NetRMI
+}
+
+// startNetEnv connects to p.NetAddrs, or launches in-process loopback node
+// daemons when none are given. Every owned daemon hosts PrimeFilter on its
+// own fresh domain — the process model of a distributed deployment, without
+// the processes.
+func startNetEnv(p Params) (*netEnv, error) {
+	addrs := p.NetAddrs
+	env := &netEnv{}
+	if len(addrs) == 0 {
+		count := p.NetNodes
+		if count <= 0 {
+			count = 2
+		}
+		for i := 0; i < count; i++ {
+			node := rmi.NewNode(exec.Real())
+			par.HostClass(node, DefineClass(par.NewDomain()))
+			addr, err := node.Listen("127.0.0.1:0")
+			if err != nil {
+				env.close()
+				return nil, fmt.Errorf("sieve: net node %d: %w", i, err)
+			}
+			env.nodes = append(env.nodes, node)
+			addrs = append(addrs, addr)
+		}
+	}
+	env.mw = par.NewNetRMI(par.NetAddressTable(addrs...))
+	if len(p.NetAddrs) > 0 {
+		// Borrowed daemons may hold a previous run's placements; start from
+		// a clean registry so the generated "PS<n>" names bind.
+		if err := env.mw.Reset(); err != nil {
+			env.close()
+			return nil, fmt.Errorf("sieve: reset net nodes: %w", err)
+		}
+	}
+	return env, nil
+}
+
+// placement spreads workers round-robin over every net node.
+func (e *netEnv) placement() par.Placement {
+	return par.RoundRobin(0, e.mw.Nodes())
+}
+
+func (e *netEnv) close() {
+	if e.mw != nil {
+		e.mw.Close()
+	}
+	for _, n := range e.nodes {
+		n.Close()
+	}
+}
+
 // build wires the modules for one matrix cell (the zero combo wires the
 // sequential core: no partition, no concurrency, no distribution).
 func build(c Combo, p Params) (*wiring, error) {
 	w := &wiring{dom: par.NewDomain()}
-	w.class = defineClass(w.dom)
-	w.cl = cluster.New(sim.NewEngine(), p.Cluster)
+	w.class = DefineClass(w.dom)
+	if c.Distribution != DistNet {
+		// DistNet runs under the real backend; only the simulated cells get
+		// a virtual cluster.
+		w.cl = cluster.New(sim.NewEngine(), p.Cluster)
+	}
 
 	callFilter := aspect.Call("PrimeFilter", "Filter")
 	callAny := aspect.Call("PrimeFilter", "*")
@@ -466,6 +567,9 @@ func build(c Combo, p Params) (*wiring, error) {
 				}
 				return []any{survivors}
 			},
+			// Over the real middleware the remote nodes' domains cannot run
+			// this module's forwarding advice; forward from the caller.
+			ClientForward: c.Distribution == DistNet,
 		})
 		mods = append(mods, w.pipe)
 
@@ -499,6 +603,14 @@ func build(c Combo, p Params) (*wiring, error) {
 		mods = append(mods, w.dist)
 	case DistMPP:
 		w.dist = par.NewDistribution(w.dom, newPF, callAny, par.NewSimMPP(w.cl, "Filter"), workerPlacement(p))
+		mods = append(mods, w.dist)
+	case DistNet:
+		env, err := startNetEnv(p)
+		if err != nil {
+			return nil, err
+		}
+		w.net = env
+		w.dist = par.NewDistribution(w.dom, newPF, callAny, env.mw, env.placement())
 		mods = append(mods, w.dist)
 	default:
 		return nil, fmt.Errorf("sieve: unknown distribution %q", c.Distribution)
@@ -534,10 +646,13 @@ func runWoven(v Variant, c Combo, p Params) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if w.net != nil {
+		defer w.net.close()
+	}
 	res := Result{Variant: v, Filters: p.Filters}
 	sqrtMax := ISqrt(p.Max)
 
-	runErr := w.cl.Run(func(ctx exec.Context) {
+	main := func(ctx exec.Context) {
 		// --- The paper's core main, verbatim structure -------------------
 		list := Candidates(sqrtMax, p.Max)
 		pf, err := w.class.New(ctx, int32(2), sqrtMax)
@@ -564,11 +679,23 @@ func runWoven(v Variant, c Combo, p Params) (Result, error) {
 		if p.KeepPrimes {
 			res.Primes = primes
 		}
-	})
-	if runErr != nil {
-		return Result{}, fmt.Errorf("sieve: %s run failed: %w", v, runErr)
 	}
-	res.Elapsed = w.cl.Elapsed()
+	if w.net != nil {
+		// Real-TCP run: no simulated cluster, no virtual time — the main
+		// activity executes directly under the real backend and Elapsed is
+		// wall-clock.
+		ctx := exec.Real()
+		start := ctx.Now()
+		if runErr := runReal(ctx, main); runErr != nil {
+			return Result{}, fmt.Errorf("sieve: %s run failed: %w", v, runErr)
+		}
+		res.Elapsed = ctx.Now() - start
+	} else {
+		if runErr := w.cl.Run(main); runErr != nil {
+			return Result{}, fmt.Errorf("sieve: %s run failed: %w", v, runErr)
+		}
+		res.Elapsed = w.cl.Elapsed()
+	}
 	if w.dist != nil {
 		res.Comm = w.dist.Middleware().Stats()
 	}
@@ -579,6 +706,19 @@ func runWoven(v Variant, c Combo, p Params) (Result, error) {
 		res.Steals = w.farm.StealStats()
 	}
 	return res, nil
+}
+
+// runReal executes main under the real backend, converting the main body's
+// panics (its error convention under cluster.Run, whose engine recovers
+// them) into errors.
+func runReal(ctx exec.Context, main func(exec.Context)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	main(ctx)
+	return nil
 }
 
 // gather collects the primes: the seed primes plus the accepted survivors
