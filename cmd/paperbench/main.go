@@ -34,6 +34,7 @@ func main() {
 		filters  = flag.String("filters", "1,4,7,10,13,16", "comma-separated filter counts")
 		skew     = flag.Float64("skew", 8, "pack-size skew factor for the schedule sweep")
 		window   = flag.Int("window", 0, "dispatch window of the self-scheduling farms (0 = default, 1 = synchronous)")
+		autotune = flag.Bool("autotune", false, "switch on the online tuning controllers (tuned cells record as tuned twins)")
 		jsonPath = flag.String("json", "", "append measured points to this JSON record file")
 	)
 	flag.Parse()
@@ -48,6 +49,7 @@ func main() {
 		p.Max = int32(*max)
 		p.Packs = *packs
 		p.Window = *window
+		p.Autotune = *autotune
 		return p
 	}
 
@@ -57,7 +59,7 @@ func main() {
 			return
 		}
 		entries = append(entries,
-			bench.SeriesEntries(experiment, *window, *max, *packs, series)...)
+			bench.SeriesEntries(experiment, *window, *max, *packs, *autotune, series)...)
 	}
 
 	run := func(name string, fn func() error) {
@@ -70,8 +72,8 @@ func main() {
 		}
 	}
 
-	fmt.Printf("paperbench: simulated testbed = 7 nodes x 4 hardware contexts, GbE; max=%d packs=%d runs=%d window=%d\n\n",
-		*max, *packs, *runs, *window)
+	fmt.Printf("paperbench: simulated testbed = 7 nodes x 4 hardware contexts, GbE; max=%d packs=%d runs=%d window=%d autotune=%v\n\n",
+		*max, *packs, *runs, *window, *autotune)
 
 	run("table1", func() error {
 		fmt.Println(bench.Table1())

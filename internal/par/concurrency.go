@@ -2,7 +2,6 @@ package par
 
 import (
 	"errors"
-	"fmt"
 	"sync"
 
 	"aspectpar/internal/aspect"
@@ -18,6 +17,7 @@ import (
 type Concurrency struct {
 	async *aspect.Aspect
 	sync  *aspect.Aspect
+	names sync.Map // "Type.Method" → cached spawn name (hot-path alloc relief)
 
 	mu      sync.Mutex
 	wg      exec.WaitGroup
@@ -54,7 +54,7 @@ func NewConcurrency(pc aspect.Pointcut) *Concurrency {
 			// body returns is discarded: downstream middleware may reply
 			// with a bare acknowledgement.
 			jp.Set(MarkVoid, true)
-			name := fmt.Sprintf("async:%s.%s", jp.Type, jp.Method)
+			name := c.spawnName(jp.Type, jp.Method)
 			c.executor(ctx, name, func(child exec.Context) {
 				defer c.untrack()
 				// The remainder of this chain runs inside the new
@@ -80,6 +80,19 @@ func NewConcurrency(pc aspect.Pointcut) *Concurrency {
 			return proceed(nil)
 		})
 	return c
+}
+
+// spawnName returns the cached activity name for a (type, method) pair: the
+// async advice runs once per split piece, so formatting the name on every
+// call is measurable allocation churn on the dispatch hot path.
+func (c *Concurrency) spawnName(typ, method string) string {
+	key := typ + "." + method
+	if v, ok := c.names.Load(key); ok {
+		return v.(string)
+	}
+	name := "async:" + key
+	c.names.Store(key, name)
+	return name
 }
 
 // ModuleName implements Module.

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"sync/atomic"
 	"time"
 
 	"aspectpar/internal/aspect"
@@ -27,6 +28,12 @@ type Metering struct {
 	nsPerOp float64
 	// dispatchOverhead is charged once per intercepted joinpoint.
 	dispatchOverhead time.Duration
+	// joinpoints and ops accumulate what the module observed — the signal
+	// tap the tuning layer's tests use to assert work conservation (an
+	// autotuned run performs exactly the operations of a fixed-knob run,
+	// just scheduled differently).
+	joinpoints atomic.Int64
+	ops        atomic.Int64
 }
 
 // NewMetering builds the module for the joinpoints selected by pc (calls and
@@ -44,9 +51,12 @@ func NewMetering(pc aspect.Pointcut, nsPerOp float64, dispatchOverhead time.Dura
 			} else {
 				subject = jp.Target
 			}
+			m.joinpoints.Add(1)
 			cost := m.dispatchOverhead
 			if rep, ok := subject.(OpsReporter); ok {
-				cost += time.Duration(float64(rep.TakeOps()) * m.nsPerOp)
+				n := rep.TakeOps()
+				m.ops.Add(n)
+				cost += time.Duration(float64(n) * m.nsPerOp)
 			}
 			if cost > 0 {
 				ctxOf(jp).Compute(cost)
@@ -58,6 +68,12 @@ func NewMetering(pc aspect.Pointcut, nsPerOp float64, dispatchOverhead time.Dura
 
 // NsPerOp returns the configured per-operation cost.
 func (m *Metering) NsPerOp() float64 { return m.nsPerOp }
+
+// Observed reports how many joinpoints the module intercepted and how many
+// operations it billed — the cost-account totals scheduling cannot change.
+func (m *Metering) Observed() (joinpoints, ops int64) {
+	return m.joinpoints.Load(), m.ops.Load()
+}
 
 // ModuleName implements Module.
 func (m *Metering) ModuleName() string { return "metering" }

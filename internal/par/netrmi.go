@@ -215,7 +215,11 @@ func (m *NetRMI) Invoke(ctx exec.Context, obj any, method string, args []any, vo
 // connection and the completion is delivered when the in-order response
 // arrives. Void calls use the one-way path and complete at send, exactly
 // like the MPP twin's one-way methods (the ack-clocked send window is the
-// throttle; failures surface in Join).
+// throttle; failures surface in Join). Non-void calls deliver through the
+// transport's callback path (rmi.Stub.InvokeCB): the completion is built on
+// the connection's reader goroutine and handed to the worker's buffered
+// done channel — no future and no per-call goroutine, which used to
+// dominate the windowed hot path's allocations.
 func (m *NetRMI) InvokeAsync(ctx exec.Context, obj any, method string, args []any, void bool, done exec.Chan) {
 	stub, err := m.stubOf(method, obj)
 	if err != nil {
@@ -232,13 +236,28 @@ func (m *NetRMI) InvokeAsync(ctx exec.Context, obj any, method string, args []an
 		return
 	}
 	m.stats.count(1, int64(reqSize))
-	f := stub.InvokeAsync(method, args...)
-	go func() {
-		res, err := f.Get()
-		m.stats.count(1, int64(m.replySize(false, res)))
+	stub.InvokeCB(method, func(res []any, err error) {
+		// This callback runs on the connection's single reader goroutine —
+		// every later pending response waits behind it — so the reply bytes
+		// are approximated (payload elements × width + floor) instead of
+		// gob re-encoding the results just for the traffic counter.
+		m.stats.count(1, int64(approxReplySize(res)))
 		done.Send(ctx, &Completion{Res: res, Err: err})
-	}()
+	}, args...)
 }
+
+// approxReplySize estimates a reply's wire size without re-encoding it:
+// the acknowledgement floor plus four bytes per []int32 payload element.
+// Exact sizing (sizer.Size) gob-encodes the value, which is too expensive
+// for the client's in-order reader.
+func approxReplySize(res []any) int {
+	return replyFloor + 4*payloadElems(res)
+}
+
+// LocalityCosted implements the optional Middleware capability: the real
+// transport makes cross-node steals genuinely costlier than co-located
+// ones, so placement-aware victim selection pays here.
+func (m *NetRMI) LocalityCosted() bool { return true }
 
 // Reset asks every configured node to unbind its placed objects (connecting
 // as needed), so a long-running daemon can serve successive runs with fresh

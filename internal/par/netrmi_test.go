@@ -208,14 +208,21 @@ func TestNetRMIWindowedCompletionsDeliverResults(t *testing.T) {
 		g.mw.InvokeAsync(g.ctx, obj, "Echo", []any{[]int32{int32(i)}}, false, done)
 	}
 	seen := make(map[int32]bool)
+	received := make(chan any, calls)
+	go func() {
+		for i := 0; i < calls; i++ {
+			v, _ := done.Recv(g.ctx)
+			received <- v
+		}
+	}()
 	deadline := time.After(5 * time.Second)
 	for i := 0; i < calls; i++ {
+		var v any
 		select {
 		case <-deadline:
 			t.Fatal("windowed completions never arrived")
-		default:
+		case v = <-received:
 		}
-		v, _ := done.Recv(g.ctx)
 		res, err := v.(*Completion).Reclaim(g.ctx)
 		if err != nil {
 			t.Fatal(err)

@@ -188,6 +188,7 @@ type Packing struct {
 	mu     sync.Mutex
 	buf    map[any][]int32
 	count  map[any]int
+	order  []any // targets in first-buffered order: Flush must be deterministic
 	merged int64
 	calls  int64
 }
@@ -217,6 +218,9 @@ func NewPacking(class *Class, method string, degree int) *Packing {
 			ctx := ctxOf(jp)
 			p.mu.Lock()
 			p.calls++
+			if _, buffered := p.buf[jp.Target]; !buffered {
+				p.order = append(p.order, jp.Target)
+			}
 			p.buf[jp.Target] = append(p.buf[jp.Target], payload...)
 			p.count[jp.Target]++
 			ready := p.count[jp.Target] >= p.degree
@@ -225,6 +229,7 @@ func NewPacking(class *Class, method string, degree int) *Packing {
 				full = p.buf[jp.Target]
 				delete(p.buf, jp.Target)
 				delete(p.count, jp.Target)
+				p.dropOrder(jp.Target)
 				p.merged++
 			}
 			p.mu.Unlock()
@@ -259,20 +264,57 @@ func splitInt32Payload(args []any, min int) (a, b []any, ok bool) {
 	return []any{payload[:mid:mid]}, []any{payload[mid:]}, true
 }
 
-// Flush sends every partially filled buffer as a final merged call.
+// splitInt32At cuts the first n elements off a call whose single argument
+// is an []int32 payload — the default StealConfig.SplitAt, which the
+// pack-size tuning controller uses to carve cost-bounded bites (unlike the
+// halving splitter, the cut point is chosen by measured cost, not shape).
+func splitInt32At(args []any, n int) (bite, rest []any, ok bool) {
+	payload, ok := singleInt32Payload(args)
+	if !ok || n <= 0 || n >= len(payload) {
+		return nil, nil, false
+	}
+	return []any{payload[:n:n]}, []any{payload[n:]}, true
+}
+
+// payloadElems reports the []int32 payload length of a call's argument list
+// (0 when the shape differs) — the unit the tuning controllers' per-element
+// cost signal scales by.
+func payloadElems(args []any) int {
+	payload, ok := singleInt32Payload(args)
+	if !ok {
+		return 0
+	}
+	return len(payload)
+}
+
+// dropOrder removes a flushed target from the insertion-order list; called
+// with p.mu held.
+func (p *Packing) dropOrder(target any) {
+	for i, t := range p.order {
+		if t == target {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// Flush sends every partially filled buffer as a final merged call, in the
+// order the targets first buffered. Iterating the buffer map here would
+// flush in Go's randomised map order — measurably nondeterministic virtual
+// times (the packing bench cells drifted ~25µs between identical runs
+// before this was pinned down).
 func (p *Packing) Flush(ctx exec.Context) error {
 	p.mu.Lock()
-	pendings := make(map[any][]int32, len(p.buf))
-	for t, b := range p.buf {
-		pendings[t] = b
-		p.merged++
-	}
+	targets := p.order
+	pendings := p.buf
+	p.merged += int64(len(targets))
+	p.order = nil
 	p.buf = make(map[any][]int32)
 	p.count = make(map[any]int)
 	p.mu.Unlock()
 	marks := map[string]any{MarkInternal: true, markPacked: true}
-	for t, b := range pendings {
-		if _, err := p.class.CallMarked(ctx, marks, t, p.method, b); err != nil {
+	for _, t := range targets {
+		if _, err := p.class.CallMarked(ctx, marks, t, p.method, pendings[t]); err != nil {
 			return err
 		}
 	}

@@ -285,6 +285,11 @@ type FarmConfig struct {
 	// dispatcher). Without a distribution middleware that supports
 	// AsyncInvoker the window is inert: calls execute inline as before.
 	Window int
+	// Autotune switches on the online tuning controllers (tuner.go): window
+	// depth, pack chunking and placement-aware victim selection adapt from
+	// measured signals instead of the fixed knobs above. The zero value
+	// keeps every dispatch path bit-identical to the fixed-knob protocol.
+	Autotune AutotuneConfig
 }
 
 // DefaultWindow is the dispatch window the self-scheduling farms use when
@@ -298,8 +303,9 @@ const DefaultWindow = 2
 // Farm is the farm partition module (static round-robin, dynamic
 // self-scheduling, or adaptive work-stealing).
 type Farm struct {
-	cfg FarmConfig
-	asp *aspect.Aspect
+	cfg   FarmConfig
+	asp   *aspect.Aspect
+	tuner *tuner // nil unless cfg.Autotune.Enabled
 
 	set managedSet
 
@@ -319,7 +325,7 @@ func NewFarm(cfg FarmConfig) *Farm {
 	if cfg.Dynamic && cfg.Stealing {
 		panic("par: farm cannot be both Dynamic and Stealing")
 	}
-	f := &Farm{cfg: cfg}
+	f := &Farm{cfg: cfg, tuner: newTuner(cfg.Autotune)}
 
 	newPC := aspect.New(cfg.Class.Name())
 	callPC := aspect.Call(cfg.Class.Name(), cfg.Method)
@@ -459,12 +465,39 @@ func (f *Farm) issuePack(ctx exec.Context, w any, args []any, done exec.Chan) bo
 
 // reclaimOne blocks for the next completion of this worker's window —
 // completion-ordered reclamation — settles its caller-side reply costs and
-// records its error, if any.
-func (f *Farm) reclaimOne(ctx exec.Context, done exec.Chan) {
+// records its error, if any. With autotuning on it also folds the
+// completion's timing signals into the tuner here — not in the window
+// controller — so the pack-size controller keeps its cost profile even
+// when the window controller is disabled (AutotuneConfig.NoWindow). It
+// returns the completion so windowed loops can feed their depth
+// controller.
+func (f *Farm) reclaimOne(ctx exec.Context, done exec.Chan) *Completion {
 	v, _ := done.Recv(ctx)
-	if _, err := v.(*Completion).Reclaim(ctx); err != nil {
+	c := v.(*Completion)
+	if _, err := c.Reclaim(ctx); err != nil {
 		f.fail(err)
 	}
+	if f.tuner != nil && c.service > 0 {
+		f.tuner.observe(c.service, c.elems)
+	}
+	return c
+}
+
+// workerWindow wires one windowed worker loop's depth control: with the
+// window controller on it returns the per-worker controller, its slow-start
+// depth and a channel capacity covering the controller cap; with it off the
+// fixed depth applies. Both self-scheduling loops use it, so the dynamic
+// and stealing farms cannot drift apart in how depth and capacity relate.
+func (f *Farm) workerWindow(sched *stealScheduler, win int) (wc *windowCtl, depth, chanCap int) {
+	depth, chanCap = win, win
+	if f.tuner.windowOn() {
+		wc = newWindowCtl(f.tuner, sched, win)
+		depth = wc.depth()
+		if wc.max > chanCap {
+			chanCap = wc.max
+		}
+	}
+	return wc, depth, chanCap
 }
 
 // dispatchDynamic implements self-scheduling: a shared work queue and one
@@ -500,8 +533,20 @@ func (f *Farm) dispatchDynamic(ctx exec.Context, workers []any, parts [][]any) e
 				}
 			}
 			// Windowed self-scheduling with completion-ordered reclamation.
-			done := child.NewChan(win)
+			// With autotuning on, a per-worker controller adapts the depth
+			// (the shared queue has no steal pressure to shed against, so
+			// only the latency-ratio law applies).
+			wc, depth, chanCap := f.workerWindow(nil, win)
+			done := child.NewChan(chanCap)
 			inflight := 0
+			reclaim := func() {
+				c := f.reclaimOne(child, done)
+				inflight--
+				if wc != nil {
+					wc.observe(c)
+					depth = wc.depth()
+				}
+			}
 			for {
 				part, ok := queue.Recv(child)
 				if !ok {
@@ -509,14 +554,13 @@ func (f *Farm) dispatchDynamic(ctx exec.Context, workers []any, parts [][]any) e
 				}
 				if f.issuePack(child, w, part.([]any), done) {
 					inflight++
-					if inflight == win {
-						f.reclaimOne(child, done)
-						inflight--
+					for inflight >= depth {
+						reclaim()
 					}
 				}
 			}
-			for ; inflight > 0; inflight-- {
-				f.reclaimOne(child, done)
+			for inflight > 0 {
+				reclaim()
 			}
 		})
 	}
@@ -532,6 +576,26 @@ func (f *Farm) dispatchDynamic(ctx exec.Context, workers []any, parts [][]any) e
 // the idle replica (and, with distribution plugged, to its node).
 func (f *Farm) dispatchStealing(ctx exec.Context, workers []any, parts [][]any) error {
 	sched := newStealScheduler(f.cfg.Steal, len(workers))
+	sched.tuner = f.tuner
+	if f.tuner.placementOn() {
+		if nodeOf := f.tuner.placementLookup(); nodeOf != nil {
+			// Placement-aware victim selection: resolve each worker
+			// replica's node once per round; thieves then prefer co-located
+			// victims (scheduler.trySteal).
+			nodes := make([]exec.NodeID, len(workers))
+			known := false
+			for i, w := range workers {
+				nodes[i] = -1 // unresolved must not alias real node 0
+				if n, ok := nodeOf(w); ok {
+					nodes[i] = n
+					known = true
+				}
+			}
+			if known {
+				sched.nodes = nodes
+			}
+		}
+	}
 	sched.seed(parts)
 	win := f.window()
 	f.beginRound(ctx, len(workers))
@@ -583,19 +647,24 @@ func (f *Farm) stealWorkerSync(child exec.Context, sched *stealScheduler, i int,
 // slots AND drive the round's termination counter) before falling back to
 // the idle yield/backoff protocol.
 func (f *Farm) stealWorkerWindowed(child exec.Context, sched *stealScheduler, i int, w any, win int) {
-	done := child.NewChan(win)
+	wc, depth, chanCap := f.workerWindow(sched, win)
+	done := child.NewChan(chanCap)
 	inflight := 0
 	reclaim := func() {
-		f.reclaimOne(child, done)
+		c := f.reclaimOne(child, done)
 		inflight--
 		sched.finish()
+		if wc != nil {
+			wc.observe(c)
+			depth = wc.depth()
+		}
 	}
 	// dispatch issues one obtained pack; inline execution (no async
 	// middleware) completes — and finishes — before it returns.
 	dispatch := func(pk stealPack) {
 		if f.issuePack(child, w, pk.args, done) {
 			inflight++
-			if inflight == win {
+			for inflight >= depth {
 				reclaim()
 			}
 		} else {
@@ -663,6 +732,21 @@ func (f *Farm) stealWorkerWindowed(child exec.Context, sched *stealScheduler, i 
 		}
 	}
 }
+
+// UsePlacement hands the farm a replica→node lookup — typically the
+// Distribution module's middleware NodeOf — so the tuning layer's
+// placement-aware victim selection can prefer co-located victims. It is a
+// no-op unless the farm was built with Autotune enabled (and its placement
+// controller on).
+func (f *Farm) UsePlacement(nodeOf func(obj any) (exec.NodeID, bool)) {
+	if f.tuner != nil {
+		f.tuner.usePlacement(nodeOf)
+	}
+}
+
+// TuneStats reports the tuning controllers' counters (zero unless the farm
+// was built with Autotune enabled).
+func (f *Farm) TuneStats() TuneStats { return f.tuner.stats() }
 
 // StealStats reports the work-stealing scheduler's counters, summed over
 // every finished dispatch round (zero unless the farm was built with

@@ -49,6 +49,16 @@ type StealConfig struct {
 	// MinSplit is the minimum payload elements per half for the default
 	// splitter; 0 selects 64.
 	MinSplit int
+	// SplitAt carves the first n payload elements off a pack: it returns the
+	// bite and the rest, or ok=false when the pack cannot be cut there. The
+	// pack-size tuning controller uses it to carve cost-bounded bites off
+	// packs far heavier than the observed average (see AutotuneConfig); it
+	// is unused without autotuning. When SplitPack is nil (default halver),
+	// a cutter for the single-[]int32 payload shape is installed alongside
+	// it; a custom SplitPack without a matching SplitAt deliberately leaves
+	// chunking off — the controller must not cut packs at points a custom
+	// split policy may not allow.
+	SplitAt func(args []any, n int) (bite, rest []any, ok bool)
 	// StealOverhead is the virtual CPU time charged to the thief per
 	// successful steal transaction (locking the victim, moving ownership);
 	// 0 selects 2µs, negative disables the charge.
@@ -71,6 +81,9 @@ func (c StealConfig) withDefaults() StealConfig {
 		min := c.MinSplit
 		c.SplitPack = func(args []any) ([]any, []any, bool) {
 			return splitInt32Payload(args, min)
+		}
+		if c.SplitAt == nil {
+			c.SplitAt = splitInt32At
 		}
 	}
 	if c.StealOverhead == 0 {
@@ -99,8 +112,16 @@ type StealStats struct {
 	Steals int64
 	// Stolen counts packs that changed owner through a steal.
 	Stolen int64
-	// Splits counts hot packs split in two by a steal request.
+	// Splits counts packs split in two by a steal request, the owner-side
+	// fringe rule, or the pack-size tuning controller's chunking (each chunk
+	// counts here too, so the invariant holds with autotuning on).
 	Splits int64
+	// LocalSteals and RemoteSteals partition Steals by replica placement:
+	// a steal is local when thief and victim replicas share a node (always,
+	// when no placement is known). The placement-aware victim selection of
+	// the tuning layer exists to grow the local share.
+	LocalSteals  int64
+	RemoteSteals int64
 	// FailedScans counts full victim scans that found nothing to steal.
 	FailedScans int64
 }
@@ -133,6 +154,16 @@ type stealScheduler struct {
 	cfg    StealConfig
 	deques []*stealDeque
 
+	// tuner is the farm's tuning-controller state; nil runs the fixed-knob
+	// protocol bit-identically to previous behaviour.
+	tuner *tuner
+	// nodes is worker i's replica placement, resolved at round start when
+	// placement-aware victim selection is on; nil means unknown (victim scan
+	// order stays the fixed round-robin and every steal counts as local).
+	// Individual unresolved replicas hold -1, which matches nothing — they
+	// must not alias real node 0.
+	nodes []exec.NodeID
+
 	// remaining counts packs enqueued but not yet finished. Every pack
 	// increments it before it becomes visible (initial seeding, the new
 	// half of a split) and decrements it exactly once after execution, so
@@ -143,12 +174,14 @@ type stealScheduler struct {
 	// signal that arms owner-side splitting.
 	hungry atomic.Int64
 
-	seeded      atomic.Int64
-	executed    atomic.Int64
-	steals      atomic.Int64
-	stolen      atomic.Int64
-	splits      atomic.Int64
-	failedScans atomic.Int64
+	seeded       atomic.Int64
+	executed     atomic.Int64
+	steals       atomic.Int64
+	stolen       atomic.Int64
+	splits       atomic.Int64
+	localSteals  atomic.Int64
+	remoteSteals atomic.Int64
+	failedScans  atomic.Int64
 }
 
 func newStealScheduler(cfg StealConfig, workers int) *stealScheduler {
@@ -252,6 +285,9 @@ func (s *stealScheduler) take(i int) (stealPack, bool) {
 	}
 	pk := d.packs[0]
 	d.packs = d.packs[1:]
+	if s.tuner.packSizeOn() {
+		pk = s.chunk(d, pk)
+	}
 	if len(d.packs) == 0 && s.hungry.Load() > 0 {
 		if a, b, ok := s.cfg.SplitPack(pk.args); ok {
 			pk = stealPack{args: a}
@@ -278,11 +314,17 @@ func (s *stealScheduler) takeWindowed(i int, pipelined bool) (pk stealPack, ok, 
 	if len(d.packs) == 0 {
 		return stealPack{}, false, false
 	}
-	if pipelined && len(d.packs) == 1 {
+	if pipelined && len(d.packs) == 1 && len(s.deques) > 1 {
+		// Deferring only makes sense while a thief could exist: a
+		// single-worker farm has none, and deferring there just drains the
+		// pipe before the tail pack — the fringe-rule fix of ISSUE 4.
 		return stealPack{}, false, true
 	}
 	pk = d.packs[0]
 	d.packs = d.packs[1:]
+	if s.tuner.packSizeOn() {
+		pk = s.chunk(d, pk)
+	}
 	if len(d.packs) == 0 && s.hungry.Load() > 0 {
 		if a, b, ok := s.cfg.SplitPack(pk.args); ok {
 			pk = stealPack{args: a}
@@ -297,20 +339,59 @@ func (s *stealScheduler) takeWindowed(i int, pipelined bool) (pk stealPack, ok, 
 // trySteal scans the other deques starting at worker i's right neighbour and
 // takes work from the first deque that has any: the back half when several
 // packs queue there, one half of a freshly split pack when only one does.
+// With replica placements known (placement-aware victim selection), the scan
+// runs in two passes — co-located victims first, remote ones only when no
+// local deque has work — so stolen packs migrate across the network only
+// when the thief's node is truly out of work. Scan order stays a fixed
+// round-robin inside each pass, keeping virtual-time runs deterministic.
 func (s *stealScheduler) trySteal(ctx exec.Context, i int) (stealPack, bool) {
 	n := len(s.deques)
+	if s.nodes != nil {
+		for _, local := range []bool{true, false} {
+			for off := 1; off < n; off++ {
+				v := (i + off) % n
+				coLocated := s.nodes[i] >= 0 && s.nodes[v] == s.nodes[i]
+				if coLocated != local {
+					continue
+				}
+				if pk, ok := s.stealFrom(s.deques[v], i); ok {
+					// Scan order treats unresolved placements (-1) as
+					// remote (scanned last), but the stats count them as
+					// local — unknown placement must not inflate the
+					// remote-steal metric the placement controller is
+					// judged by.
+					s.noteSteal(ctx, coLocated || s.nodes[i] < 0 || s.nodes[v] < 0)
+					return pk, true
+				}
+			}
+		}
+		s.failedScans.Add(1)
+		return stealPack{}, false
+	}
 	for off := 1; off < n; off++ {
 		v := s.deques[(i+off)%n]
 		if pk, ok := s.stealFrom(v, i); ok {
-			s.steals.Add(1)
-			if s.cfg.StealOverhead > 0 {
-				ctx.Compute(s.cfg.StealOverhead)
-			}
+			s.noteSteal(ctx, true)
 			return pk, true
 		}
 	}
 	s.failedScans.Add(1)
 	return stealPack{}, false
+}
+
+// noteSteal accounts one successful steal transaction and charges the
+// thief's overhead. Steals with unknown placement count as local (a single
+// unplaced farm is one process).
+func (s *stealScheduler) noteSteal(ctx exec.Context, local bool) {
+	s.steals.Add(1)
+	if local {
+		s.localSteals.Add(1)
+	} else {
+		s.remoteSteals.Add(1)
+	}
+	if s.cfg.StealOverhead > 0 {
+		ctx.Compute(s.cfg.StealOverhead)
+	}
 }
 
 // stealFrom attempts one steal transaction against victim deque v on behalf
@@ -359,6 +440,53 @@ func (s *stealScheduler) stealFrom(v *stealDeque, i int) (stealPack, bool) {
 	}
 }
 
+// chunk is the pack-size tuning controller's owner-side carve: when the
+// popped pack's estimated cost (payload elements × the per-element cost
+// EWMA) is at least ChunkFactor × the average pack service time, the owner
+// takes only a bite of about half an average pack's worth and requeues the
+// rest at the front of its deque — still stealable, still splittable. A
+// worker therefore cannot disappear into a pack far heavier than what its
+// peers are running, which is what serialises the tail of skewed rounds;
+// uniform rounds never trigger it because every pack sits at the average.
+// Inert (and unreachable) when the tuner or its pack-size controller is
+// off. Called with d's mutex held.
+func (s *stealScheduler) chunk(d *stealDeque, pk stealPack) stealPack {
+	t := s.tuner
+	nspe := t.nspe.Load()
+	avg := t.svcEWMA.Load()
+	if nspe <= 0 || avg <= 0 {
+		return pk // no cost profile yet (round start)
+	}
+	elems := payloadElems(pk.args)
+	if elems == 0 {
+		return pk
+	}
+	if int64(elems)*nspe < int64(t.cfg.ChunkFactor)*avg {
+		return pk
+	}
+	bite := int(avg / nspe / 2)
+	if bite < s.cfg.MinSplit {
+		bite = s.cfg.MinSplit
+	}
+	// Both sides honour the MinSplit floor, like every other split path: a
+	// rest fragment below it would pay full per-pack dispatch overhead for
+	// sub-threshold work.
+	if bite >= elems || elems-bite < s.cfg.MinSplit || s.cfg.SplitAt == nil {
+		return pk
+	}
+	biteArgs, rest, ok := s.cfg.SplitAt(pk.args, bite)
+	if !ok {
+		return pk
+	}
+	// The rest becomes visible before the termination counter could reach
+	// zero: remaining grows first, as everywhere else.
+	s.remaining.Add(1)
+	d.packs = append([]stealPack{{args: rest}}, d.packs...)
+	s.splits.Add(1)
+	t.chunks.Add(1)
+	return stealPack{args: biteArgs}
+}
+
 // drained reports whether every pack of the round has finished — the
 // workers' termination signal.
 func (s *stealScheduler) drained() bool { return s.remaining.Load() == 0 }
@@ -378,17 +506,21 @@ func (s *StealStats) add(o StealStats) {
 	s.Steals += o.Steals
 	s.Stolen += o.Stolen
 	s.Splits += o.Splits
+	s.LocalSteals += o.LocalSteals
+	s.RemoteSteals += o.RemoteSteals
 	s.FailedScans += o.FailedScans
 }
 
 // stats snapshots the counters.
 func (s *stealScheduler) stats() StealStats {
 	return StealStats{
-		Seeded:      s.seeded.Load(),
-		Executed:    s.executed.Load(),
-		Steals:      s.steals.Load(),
-		Stolen:      s.stolen.Load(),
-		Splits:      s.splits.Load(),
-		FailedScans: s.failedScans.Load(),
+		Seeded:       s.seeded.Load(),
+		Executed:     s.executed.Load(),
+		Steals:       s.steals.Load(),
+		Stolen:       s.stolen.Load(),
+		Splits:       s.splits.Load(),
+		LocalSteals:  s.localSteals.Load(),
+		RemoteSteals: s.remoteSteals.Load(),
+		FailedScans:  s.failedScans.Load(),
 	}
 }

@@ -1,0 +1,329 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aspectpar/internal/exec"
+)
+
+// This file implements par's online adaptive tuning layer: a set of
+// feedback controllers that adapt the scheduler and dispatch knobs that were
+// previously fixed constants — the dispatch window depth, the pack split
+// granularity, and the steal victim order — from signals the system already
+// collects. Nothing here invents new measurements: the simulated middlewares
+// stamp each windowed Completion with its issue time, arrival time and
+// server-side service time (middleware.go), the steal scheduler counts
+// steals (scheduler.go), and the controllers turn those into decisions.
+//
+// Everything is off by default. With AutotuneConfig.Enabled false (the zero
+// value) none of the code in this file runs and the dispatch paths are
+// byte-identical to the fixed-knob protocol, which keeps the checked-in
+// virtual-time baselines valid; the property tests pin that. (One deliberate
+// exception ships alongside this file, tuner off or on: ISSUE 4's
+// fringe-rule fix in stealScheduler.takeWindowed — single-worker farms no
+// longer defer their last pack, since no thief exists. No gated baseline
+// cell runs a single-worker windowed farm.)
+//
+// # Window-depth controller (windowCtl)
+//
+// The windowed worker loops used a fixed depth (FarmConfig.Window, default
+// 2). The controller replaces the constant with a per-worker measured
+// policy:
+//
+//   - the depth needed to hide the middleware round trip behind computation
+//     is 1 + ceil(rtt0/service), where rtt0 is the pack's round-trip wire
+//     and marshalling overhead (2× the measured issue→arrival half-trip)
+//     and service its server-side compute time: while one pack computes for
+//     service, the pipe must hold enough further packs to cover rtt0. The
+//     controller tracks that target per completion;
+//   - holding packs in flight has a price the fixed knob ignored: a pack in
+//     flight can no longer be stolen or split. When steal pressure is live
+//     (steals happened since this worker's last reclaim) and the pack just
+//     reclaimed was heavy relative to the global average (≥ HeavyFactor ×
+//     the service EWMA), the target drops to 1 — the worker sheds its
+//     prefetch claim and leaves its queued packs stealable;
+//   - the depth follows the target asymmetrically smoothed: additive growth
+//     (+1 per observation, so one outlier cannot balloon the claim) and
+//     exponential-decay shrink (halving the gap per observation, so brief
+//     pressure pulses do not force a full pipe drain — the oscillation that
+//     an instant-shed policy measurably causes);
+//   - stealing workers' depth starts at 1 (slow start): at round start
+//     nothing is known about pack costs, and the blind double-claim of the
+//     fixed knob is exactly what pins the heavy packs of a skewed round to
+//     one worker. The dynamic farm's shared queue has no stealability to
+//     protect, so its controller starts at the configured depth.
+//
+// # Pack-size controller (stealScheduler.chunk)
+//
+// StealConfig.MinSplit bounded splitting with a fixed element floor chosen
+// per benchmark. The controller instead adapts granularity from the
+// observed cost: it keeps an EWMA of pack service times and of the
+// per-element cost (service / payload elements), estimates every pack's
+// cost when its owner pops it, and when the estimate is ≥ ChunkFactor × the
+// average it carves off a bite of roughly half an average pack's worth of
+// elements and requeues the (stealable, still splittable) rest. A worker
+// therefore never disappears into a pack far heavier than what everyone
+// else is running — the tail serialisation that no victim-side policy can
+// fix once the pack is in flight. Uniform workloads never trigger it: every
+// pack sits at the average.
+//
+// # Placement-aware victim selection (stealScheduler.trySteal)
+//
+// Victim scan order was a fixed round-robin. When the farm learns replica
+// placements (Farm.UsePlacement, fed by the Distribution module's
+// middleware), thieves prefer victims whose replica is co-located on the
+// same node as their own replica before crossing the (simulated or real)
+// network, and StealStats splits its counters into local and remote steals.
+
+// AutotuneConfig switches on the online tuning controllers for a farm's
+// self-scheduling dispatch. The zero value disables everything, keeping the
+// fixed-knob protocol bit-identical to previous behaviour; Enabled with the
+// other fields zero selects all three controllers with default gains.
+type AutotuneConfig struct {
+	// Enabled turns the tuning layer on.
+	Enabled bool
+	// NoWindow disables the window-depth controller (the dispatch window
+	// stays at the configured fixed depth).
+	NoWindow bool
+	// NoPackSize disables the pack-size controller (cost-aware chunking).
+	NoPackSize bool
+	// NoPlacement disables placement-aware victim selection.
+	NoPlacement bool
+	// MaxWindow caps the window-depth controller; 0 selects the farm's
+	// resolved fixed window (the controller then only adapts downward).
+	MaxWindow int
+	// HeavyFactor is the shed threshold: a reclaimed pack whose service time
+	// is ≥ HeavyFactor × the global service EWMA, under live steal pressure,
+	// drops the worker's window target to 1. 0 selects 2.
+	HeavyFactor int
+	// ChunkFactor is the chunk threshold: a popped pack whose estimated cost
+	// is ≥ ChunkFactor × the global service EWMA is carved into a bite plus
+	// a requeued stealable rest. 0 selects 3.
+	ChunkFactor int
+}
+
+func (c AutotuneConfig) withDefaults() AutotuneConfig {
+	if c.HeavyFactor <= 0 {
+		c.HeavyFactor = 2
+	}
+	if c.ChunkFactor <= 0 {
+		c.ChunkFactor = 3
+	}
+	return c
+}
+
+// TuneStats reports what the tuning controllers did during a farm's runs —
+// the observability the knobs need to be trusted. Zero unless the farm was
+// built with Autotune enabled.
+type TuneStats struct {
+	// WindowGrows and WindowSheds count depth-controller adjustments: grows
+	// are +1 steps toward a larger target, sheds are pressure-triggered
+	// drops of the target to 1.
+	WindowGrows int64
+	WindowSheds int64
+	// Chunks counts packs carved by the pack-size controller (each chunk is
+	// also counted in StealStats.Splits, keeping the accounting invariant
+	// Executed == Seeded + Splits).
+	Chunks int64
+	// AvgServiceNs and NsPerElem are the final signal EWMAs: the average
+	// pack service time and the average per-element cost.
+	AvgServiceNs int64
+	NsPerElem    int64
+}
+
+// tuner is the per-farm signal store and controller state shared by the
+// dispatch rounds. All fields are updated from worker activities; under the
+// virtual-time backend the engine schedules those deterministically, so
+// tuned runs replay exactly.
+type tuner struct {
+	cfg AutotuneConfig
+
+	// svcEWMA is the global pack-service EWMA (ns); nspe the per-payload-
+	// element cost EWMA (ns). Both use α = 1/4.
+	svcEWMA atomic.Int64
+	nspe    atomic.Int64
+
+	grows  atomic.Int64
+	sheds  atomic.Int64
+	chunks atomic.Int64
+
+	mu     sync.Mutex
+	nodeOf func(obj any) (exec.NodeID, bool)
+}
+
+// newTuner returns the controller state for cfg, or nil when tuning is
+// disabled — the nil tuner is the fixed-knob fast path everywhere.
+func newTuner(cfg AutotuneConfig) *tuner {
+	if !cfg.Enabled {
+		return nil
+	}
+	return &tuner{cfg: cfg.withDefaults()}
+}
+
+// observe folds one completed pack's measured service time (and per-element
+// cost, when the payload shape is known) into the signal EWMAs. The farm's
+// reclaim path calls it for every windowed completion that carries signals,
+// independently of which controllers are on.
+func (t *tuner) observe(service time.Duration, elems int) {
+	ewmaUpdate(&t.svcEWMA, int64(service))
+	if elems > 0 {
+		ewmaUpdate(&t.nspe, int64(service)/int64(elems))
+	}
+}
+
+// ewmaUpdate advances an α=1/4 EWMA cell and returns the new value. The
+// load-update-store is not atomic as a whole; observers race benignly on
+// real hardware (it is a smoothed signal) and deterministically under the
+// virtual-time engine's serial scheduling.
+func ewmaUpdate(cell *atomic.Int64, sample int64) int64 {
+	v := cell.Load()
+	if v == 0 {
+		v = sample
+	} else {
+		v += (sample - v) / 4
+	}
+	cell.Store(v)
+	return v
+}
+
+// windowOn/packSizeOn/placementOn report which controllers a (possibly nil)
+// tuner runs.
+func (t *tuner) windowOn() bool    { return t != nil && !t.cfg.NoWindow }
+func (t *tuner) packSizeOn() bool  { return t != nil && !t.cfg.NoPackSize }
+func (t *tuner) placementOn() bool { return t != nil && !t.cfg.NoPlacement }
+
+// usePlacement installs the replica→node lookup (see Farm.UsePlacement).
+func (t *tuner) usePlacement(nodeOf func(any) (exec.NodeID, bool)) {
+	t.mu.Lock()
+	t.nodeOf = nodeOf
+	t.mu.Unlock()
+}
+
+// placementLookup returns the installed lookup, or nil.
+func (t *tuner) placementLookup() func(any) (exec.NodeID, bool) {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.nodeOf
+}
+
+// stats snapshots the controller counters.
+func (t *tuner) stats() TuneStats {
+	if t == nil {
+		return TuneStats{}
+	}
+	return TuneStats{
+		WindowGrows:  t.grows.Load(),
+		WindowSheds:  t.sheds.Load(),
+		Chunks:       t.chunks.Load(),
+		AvgServiceNs: t.svcEWMA.Load(),
+		NsPerElem:    t.nspe.Load(),
+	}
+}
+
+// windowCtl is one worker loop's window-depth controller. It is created
+// only when the window controller is on; a nil *windowCtl means the fixed
+// depth applies.
+type windowCtl struct {
+	t     *tuner
+	sched *stealScheduler // steal-pressure source; nil for the dynamic farm
+	base  int             // the configured fixed depth (no-signal fallback)
+	max   int             // controller cap (and the done channel's capacity)
+
+	depF       float64
+	dep        int
+	lastSteals int64
+}
+
+// newWindowCtl builds the controller for a worker loop whose configured
+// fixed depth is base. Stealing workers slow-start at depth 1: nothing is
+// known about pack costs at round start, and a blind prefetch claim is
+// exactly what pins a skewed round's heavy packs to one worker. The dynamic
+// farm's shared queue has no stealability to protect, so its controller
+// starts at the configured depth and only adapts on evidence.
+func newWindowCtl(t *tuner, sched *stealScheduler, base int) *windowCtl {
+	max := t.cfg.MaxWindow
+	if max <= 0 {
+		max = base
+	}
+	if max < 1 {
+		max = 1
+	}
+	start := 1
+	if sched == nil {
+		start = base
+		if start > max {
+			start = max
+		}
+	}
+	return &windowCtl{t: t, sched: sched, base: base, max: max, depF: float64(start), dep: start}
+}
+
+// depth returns the current window depth.
+func (w *windowCtl) depth() int { return w.dep }
+
+// observe feeds one reclaimed completion through the control law and
+// adjusts the depth.
+func (w *windowCtl) observe(c *Completion) {
+	if c == nil {
+		return
+	}
+	if c.service <= 0 {
+		// No service signal (a middleware that does not stamp timings, e.g.
+		// the real TCP backend): converge to the configured fixed depth.
+		w.adjust(w.base)
+		return
+	}
+	// The reclaim path already folded this completion into the EWMAs.
+	avg := w.t.svcEWMA.Load()
+	// Full latency hiding needs 1 + ceil(rtt0/service) packs in flight.
+	rtt0 := 2 * (c.arrival - c.issuedAt)
+	target := 1 + int((int64(rtt0)+int64(c.service)-1)/int64(c.service))
+	if target > w.max {
+		target = w.max
+	}
+	if target < 1 {
+		target = 1
+	}
+	// Shed the claim while live steal pressure meets a relatively heavy
+	// pack: stealability is worth more than hiding one round trip.
+	if w.sched != nil {
+		st := w.sched.steals.Load()
+		pressure := st != w.lastSteals
+		w.lastSteals = st
+		if pressure && int64(c.service) >= int64(w.t.cfg.HeavyFactor)*avg {
+			target = 1
+			w.t.sheds.Add(1)
+		}
+	}
+	w.adjust(target)
+}
+
+// adjust moves the depth toward target: additive increase, exponential-
+// decay decrease.
+func (w *windowCtl) adjust(target int) {
+	switch {
+	case float64(target) > w.depF:
+		w.depF++
+		if w.depF > float64(target) {
+			w.depF = float64(target)
+		}
+	default:
+		w.depF += (float64(target) - w.depF) / 2
+	}
+	dep := int(w.depF + 0.5)
+	if dep < 1 {
+		dep = 1
+	}
+	if dep > w.max {
+		dep = w.max
+	}
+	if dep > w.dep {
+		w.t.grows.Add(1)
+	}
+	w.dep = dep
+}

@@ -1,0 +1,331 @@
+package par
+
+import (
+	"testing"
+	"time"
+
+	"aspectpar/internal/aspect"
+	"aspectpar/internal/cluster"
+	"aspectpar/internal/exec"
+	"aspectpar/internal/sim"
+)
+
+// --- Window-depth controller unit tests -------------------------------------
+
+// steadyCompletion fabricates the tuning signals of a pack whose round trip
+// and service time are constant — a steady workload.
+func steadyCompletion(pipe, service time.Duration, elems int) *Completion {
+	return &Completion{issuedAt: 0, arrival: pipe, service: service, elems: elems}
+}
+
+// TestWindowCtlConvergesToFixedPoint pins satellite (b) of ISSUE 4: on a
+// steady workload the depth controller reaches the analytic fixed point
+// 1 + ceil(rtt0/service) and never leaves it.
+func TestWindowCtlConvergesToFixedPoint(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		pipe    time.Duration // one-way overhead; rtt0 = 2*pipe
+		service time.Duration
+		max     int
+		want    int
+	}{
+		{"compute-bound", 100 * time.Microsecond, 5 * time.Millisecond, 8, 2},
+		{"latency-bound", 3 * time.Millisecond, 2 * time.Millisecond, 8, 4},
+		{"capped", 10 * time.Millisecond, time.Millisecond, 4, 4},
+	} {
+		tu := newTuner(AutotuneConfig{Enabled: true})
+		wc := newWindowCtl(tu, nil, 2)
+		wc.max = tc.max
+		var settled int
+		for i := 0; i < 64; i++ {
+			wc.observe(steadyCompletion(tc.pipe, tc.service, 1000))
+			if wc.depth() == tc.want {
+				settled++
+			} else if settled > 0 {
+				t.Fatalf("%s: depth left fixed point %d for %d after %d settled steps",
+					tc.name, tc.want, wc.depth(), settled)
+			}
+		}
+		if settled < 32 {
+			t.Errorf("%s: depth %d after 64 steady observations, want fixed point %d (settled %d)",
+				tc.name, wc.depth(), tc.want, settled)
+		}
+	}
+}
+
+// TestWindowCtlNoSignalFallsBack pins the real-middleware path: completions
+// without timing signals (service 0) converge the depth to the configured
+// fixed window instead of starving the pipe at the slow-start depth.
+func TestWindowCtlNoSignalFallsBack(t *testing.T) {
+	tu := newTuner(AutotuneConfig{Enabled: true})
+	sched := newStealScheduler(StealConfig{}, 2)
+	wc := newWindowCtl(tu, sched, 3)
+	if wc.depth() != 1 {
+		t.Fatalf("stealing controller should slow-start at 1, got %d", wc.depth())
+	}
+	for i := 0; i < 8; i++ {
+		wc.observe(&Completion{})
+	}
+	if wc.depth() != 3 {
+		t.Errorf("depth = %d after signal-less completions, want the configured 3", wc.depth())
+	}
+}
+
+// TestWindowCtlShedsUnderPressure pins the shed law: live steal pressure
+// plus a relatively heavy reclaimed pack drops the target to 1; without
+// pressure the same pack keeps the latency-hiding depth.
+func TestWindowCtlShedsUnderPressure(t *testing.T) {
+	tu := newTuner(AutotuneConfig{Enabled: true})
+	sched := newStealScheduler(StealConfig{}, 2)
+	wc := newWindowCtl(tu, sched, 2)
+	light := steadyCompletion(200*time.Microsecond, time.Millisecond, 100)
+	for i := 0; i < 8; i++ {
+		wc.observe(light)
+	}
+	if wc.depth() != 2 {
+		t.Fatalf("depth = %d on light steady load, want 2", wc.depth())
+	}
+	heavy := steadyCompletion(200*time.Microsecond, 8*time.Millisecond, 800)
+	wc.observe(heavy) // no pressure: stay
+	if wc.depth() != 2 {
+		t.Fatalf("depth = %d after heavy pack without pressure, want 2", wc.depth())
+	}
+	sheds := tu.sheds.Load()
+	// A skewed stream: mostly light packs (other workers' completions keep
+	// the EWMA near the light cost) with heavy outliers under live steal
+	// pressure — the shape the shed law exists for.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			tu.observe(light.service, light.elems)
+		}
+		sched.steals.Add(1) // live pressure
+		wc.observe(heavy)
+	}
+	if wc.depth() != 1 {
+		t.Errorf("depth = %d under pressure with heavy outliers, want 1", wc.depth())
+	}
+	if tu.sheds.Load() == sheds {
+		t.Errorf("shed counter did not advance")
+	}
+}
+
+// --- Scheduler-level controller tests ---------------------------------------
+
+// TestTakeWindowedSingleWorkerTakesLastPack pins the fringe-rule fix: a
+// single-worker farm has no thieves, so deferring the last local pack only
+// drains the pipe before the tail pack. Multi-worker farms must keep
+// deferring.
+func TestTakeWindowedSingleWorkerTakesLastPack(t *testing.T) {
+	solo := newStealScheduler(StealConfig{}, 1)
+	solo.seed([][]any{{[]int32{1, 2, 3}}})
+	if _, ok, deferred := solo.takeWindowed(0, true); !ok || deferred {
+		t.Errorf("single worker: last pack ok=%v deferred=%v, want taken", ok, deferred)
+	}
+	duo := newStealScheduler(StealConfig{}, 2)
+	duo.seed([][]any{{[]int32{1, 2, 3}}, {[]int32{4, 5, 6}}})
+	if _, ok, deferred := duo.takeWindowed(0, true); ok || !deferred {
+		t.Errorf("two workers: last pack ok=%v deferred=%v, want deferred (stealable)", ok, deferred)
+	}
+}
+
+// TestPlacementAwareVictimSelection pins the placement controller: a thief
+// prefers a co-located victim over a nearer remote one, falls back to remote
+// victims only when no local deque has work, and the steal counters split
+// accordingly.
+func TestPlacementAwareVictimSelection(t *testing.T) {
+	ctx := exec.Real()
+	s := newStealScheduler(StealConfig{StealOverhead: -1, MinSplit: 1}, 4)
+	s.nodes = []exec.NodeID{1, 2, 1, 2}
+	// Worker 1 (remote to worker 0) and worker 2 (co-located) both have
+	// work; round-robin alone would rob worker 1 first.
+	s.remaining.Add(2)
+	s.deques[1].pushBack(stealPack{args: []any{[]int32{9}}})
+	s.deques[2].pushBack(stealPack{args: []any{[]int32{7}}})
+	pk, ok := s.trySteal(ctx, 0)
+	if !ok || pk.args[0].([]int32)[0] != 7 {
+		t.Fatalf("trySteal = %v %v, want the co-located worker 2's pack", pk, ok)
+	}
+	if st := s.stats(); st.LocalSteals != 1 || st.RemoteSteals != 0 {
+		t.Errorf("after local steal: %+v", st)
+	}
+	// Only the remote victim has work left now.
+	pk, ok = s.trySteal(ctx, 0)
+	if !ok || pk.args[0].([]int32)[0] != 9 {
+		t.Fatalf("second trySteal = %v %v, want the remote worker 1's pack", pk, ok)
+	}
+	if st := s.stats(); st.LocalSteals != 1 || st.RemoteSteals != 1 || st.Steals != 2 {
+		t.Errorf("after remote steal: %+v", st)
+	}
+}
+
+// TestChunkCarvesHeavyPack pins the pack-size controller: with a cost
+// profile established, popping a pack far heavier than the average carves a
+// bite and requeues the stealable rest, growing remaining and Splits so the
+// accounting invariant holds.
+func TestChunkCarvesHeavyPack(t *testing.T) {
+	s := newStealScheduler(StealConfig{MinSplit: 4}, 2)
+	s.tuner = newTuner(AutotuneConfig{Enabled: true})
+	s.tuner.svcEWMA.Store(int64(time.Millisecond))
+	s.tuner.nspe.Store(int64(10 * time.Microsecond)) // avg pack ≈ 100 elems
+	heavy := make([]int32, 1000)                     // ≈ 10× the average
+	s.remaining.Add(1)
+	s.deques[0].pushBack(stealPack{args: []any{heavy}})
+	pk, ok := s.take(0)
+	if !ok {
+		t.Fatal("take found nothing")
+	}
+	bite := pk.args[0].([]int32)
+	if len(bite) != 50 { // avg/nspe/2 = 100/2
+		t.Errorf("bite = %d elements, want 50 (half an average pack)", len(bite))
+	}
+	s.deques[0].mu.Lock()
+	queued := len(s.deques[0].packs)
+	rest := s.deques[0].packs[0].args[0].([]int32)
+	s.deques[0].mu.Unlock()
+	if queued != 1 || len(rest) != len(heavy)-len(bite) {
+		t.Errorf("rest: %d packs, %d elements; want 1 pack of %d", queued, len(rest), len(heavy)-len(bite))
+	}
+	if s.remaining.Load() != 2 || s.splits.Load() != 1 || s.tuner.chunks.Load() != 1 {
+		t.Errorf("accounting: remaining=%d splits=%d chunks=%d, want 2/1/1",
+			s.remaining.Load(), s.splits.Load(), s.tuner.chunks.Load())
+	}
+}
+
+// --- End-to-end autotuned farm properties -----------------------------------
+
+// runTunedFarm runs one distributed stealing-farm round over simulated RMI
+// with skewed pack costs and returns the elapsed virtual time, the summed
+// payload, the metering totals and the farm.
+func runTunedFarm(t *testing.T, autotune AutotuneConfig) (time.Duration, int64, int64, *Farm) {
+	t.Helper()
+	dom, class := defineBox(t)
+	// 24 packs, every 6th eight times heavier — the skewed workload the
+	// controllers adapt to.
+	data := make([]int32, 12000)
+	for i := range data {
+		data[i] = int32(i % 5)
+	}
+	split := func(args []any) [][]any {
+		payload := args[0].([]int32)
+		var parts [][]any
+		weights := make([]int, 24)
+		total := 0
+		for i := range weights {
+			weights[i] = 1
+			if i%6 == 0 {
+				weights[i] = 8
+			}
+			total += weights[i]
+		}
+		start := 0
+		acc := 0
+		for i, w := range weights {
+			acc += w
+			end := acc * len(payload) / total
+			if i == len(weights)-1 {
+				end = len(payload)
+			}
+			if end > start {
+				parts = append(parts, []any{payload[start:end:end]})
+			}
+			start = end
+		}
+		return parts
+	}
+	farm := NewFarm(FarmConfig{
+		Class: class, Method: "Work", Workers: 4,
+		Split: split, Stealing: true, Autotune: autotune,
+		Steal: StealConfig{MinSplit: 16},
+	})
+	meter := NewMetering(aspect.Call("Box", "*"), 1e3, 0)
+	cl := cluster.New(sim.NewEngine(), cluster.PaperTestbed())
+	dist := NewDistribution(dom, aspect.New("Box"), aspect.Call("Box", "*"),
+		NewSimRMI(cl), RoundRobin(1, 6))
+	farm.UsePlacement(dist.NodeOf)
+	stack := NewStack(dom, farm, dist, meter)
+	err := cl.Run(func(ctx exec.Context) {
+		obj, err := class.New(ctx)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := class.Call(ctx, obj, "Work", data); err != nil {
+			t.Error(err)
+		}
+		if err := stack.Join(ctx); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, w := range farm.Managed() {
+		total += w.(*box).sum()
+	}
+	_, ops := meter.Observed()
+	return cl.Elapsed(), total, ops, farm
+}
+
+// TestAutotunedRunsAreDeterministic pins satellite (a): autotuned
+// virtual-time runs replay identically — the controllers consume only
+// deterministic signals.
+func TestAutotunedRunsAreDeterministic(t *testing.T) {
+	e1, sum1, ops1, farm1 := runTunedFarm(t, AutotuneConfig{Enabled: true})
+	e2, sum2, ops2, farm2 := runTunedFarm(t, AutotuneConfig{Enabled: true})
+	if e1 != e2 {
+		t.Errorf("autotuned runs diverge: %v vs %v", e1, e2)
+	}
+	if sum1 != sum2 || ops1 != ops2 {
+		t.Errorf("autotuned results diverge: sum %d/%d ops %d/%d", sum1, sum2, ops1, ops2)
+	}
+	if s1, s2 := farm1.StealStats(), farm2.StealStats(); s1 != s2 {
+		t.Errorf("steal stats diverge:\n%+v\n%+v", s1, s2)
+	}
+	if farm1.TuneStats() != farm2.TuneStats() {
+		t.Errorf("tune stats diverge:\n%+v\n%+v", farm1.TuneStats(), farm2.TuneStats())
+	}
+}
+
+// TestAutotuneConservesWork pins the cost account: the controllers reshuffle
+// scheduling, not computation — an autotuned run executes exactly the same
+// metered operations (and total payload) as the fixed-knob run, and its
+// pack accounting invariant still holds.
+func TestAutotuneConservesWork(t *testing.T) {
+	_, sumFixed, opsFixed, farmFixed := runTunedFarm(t, AutotuneConfig{})
+	_, sumTuned, opsTuned, farmTuned := runTunedFarm(t, AutotuneConfig{Enabled: true})
+	if sumFixed != sumTuned || opsFixed != opsTuned {
+		t.Errorf("work not conserved: sum %d/%d ops %d/%d", sumFixed, sumTuned, opsFixed, opsTuned)
+	}
+	if farmFixed.TuneStats() != (TuneStats{}) {
+		t.Errorf("fixed run has tuning activity: %+v", farmFixed.TuneStats())
+	}
+	st := farmTuned.StealStats()
+	if st.Executed != st.Seeded+st.Splits {
+		t.Errorf("tuned pack accounting broken: %+v", st)
+	}
+	if st.LocalSteals+st.RemoteSteals != st.Steals {
+		t.Errorf("steal locality accounting broken: %+v", st)
+	}
+	if farmTuned.TuneStats().AvgServiceNs == 0 {
+		t.Errorf("tuned run collected no signals: %+v", farmTuned.TuneStats())
+	}
+}
+
+// TestChunkingWithoutWindowController pins the signal-path decoupling: the
+// pack-size controller must keep its cost profile (fed by the reclaim path)
+// even when the window controller is disabled — chunking alone is a valid
+// configuration.
+func TestChunkingWithoutWindowController(t *testing.T) {
+	_, _, _, farm := runTunedFarm(t, AutotuneConfig{Enabled: true, NoWindow: true})
+	tu := farm.TuneStats()
+	if tu.AvgServiceNs == 0 || tu.NsPerElem == 0 {
+		t.Fatalf("no cost profile collected with NoWindow: %+v", tu)
+	}
+	if tu.Chunks == 0 {
+		t.Errorf("pack-size controller never chunked the skewed packs: %+v", tu)
+	}
+	if tu.WindowGrows != 0 || tu.WindowSheds != 0 {
+		t.Errorf("window controller ran despite NoWindow: %+v", tu)
+	}
+}

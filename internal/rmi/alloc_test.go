@@ -1,0 +1,128 @@
+package rmi
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// startEchoServer hosts one servant whose method returns its argument list
+// unchanged, and returns a connected client and stub.
+func startEchoServer(t *testing.T) (*Client, *Stub) {
+	t.Helper()
+	srv := NewServer()
+	srv.Export("echo", func(method string, args []any) ([]any, error) {
+		return args, nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	stub, err := client.Lookup("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client, stub
+}
+
+// TestSendAllocsPerWindowedCall pins the end-to-end allocation budget of one
+// one-way windowed send — the NetRMI void hot path. The count is global
+// (testing.AllocsPerRun reads total mallocs), so it includes the server-side
+// decode and dispatch of each call; the bound is generous against gob's
+// internal churn but fails if per-call frames, pending entries or buffers
+// start being reallocated again.
+func TestSendAllocsPerWindowedCall(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	client, stub := startEchoServer(t)
+	client.SetSendWindow(1 << 20) // measure sends, not window stalls
+	payload := make([]int32, 512)
+	if err := stub.Send("M", payload); err != nil { // warm the path
+		t.Fatal(err)
+	}
+	if err := client.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(400, func() {
+		if err := stub.Send("M", payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err := client.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	const maxAllocs = 16
+	if avg > maxAllocs {
+		t.Errorf("one-way windowed send allocates %.1f objects/call, budget %d", avg, maxAllocs)
+	}
+}
+
+// TestInvokeCBAllocsPerCall pins the allocation budget of one non-void
+// windowed call through the callback delivery path (request, response,
+// delivery — no future, no per-call goroutine).
+func TestInvokeCBAllocsPerCall(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	_, stub := startEchoServer(t)
+	payload := make([]int32, 512)
+	ready := make(chan struct{}, 1)
+	call := func() {
+		stub.InvokeCB("M", func([]any, error) { ready <- struct{}{} }, payload)
+		<-ready
+	}
+	call() // warm the path
+	avg := testing.AllocsPerRun(400, call)
+	const maxAllocs = 48
+	if avg > maxAllocs {
+		t.Errorf("windowed call allocates %.1f objects/call, budget %d", avg, maxAllocs)
+	}
+}
+
+// TestInvokeCBDeliversExactlyOnce pins the callback path's delivery
+// contract across a peer crash: a send failure after the pending entry was
+// enqueued reaches the callback both through Client.fail's drain and
+// through post's error return, and InvokeCB must dedupe — every call
+// delivers exactly one outcome, never zero, never two.
+func TestInvokeCBDeliversExactlyOnce(t *testing.T) {
+	srv := NewServer()
+	srv.Export("echo", func(method string, args []any) ([]any, error) {
+		return args, nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	stub, err := client.Lookup("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls, deliveries atomic.Int64
+	payload := make([]int32, 64)
+	for i := 0; i < 200; i++ {
+		if i == 50 {
+			srv.Abort() // crash the peer mid-stream
+		}
+		calls.Add(1)
+		stub.InvokeCB("M", func([]any, error) { deliveries.Add(1) }, payload)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for deliveries.Load() < calls.Load() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if d, c := deliveries.Load(), calls.Load(); d != c {
+		t.Errorf("%d deliveries for %d calls (want exactly one each)", d, c)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package rmi
+
+// raceEnabled reports whether the race detector instruments this build; the
+// allocation-regression tests skip under it (instrumentation inflates and
+// destabilises allocation counts).
+const raceEnabled = false

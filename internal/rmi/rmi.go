@@ -21,12 +21,14 @@
 package rmi
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aspectpar/internal/future"
@@ -171,7 +173,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	// The encoder writes through a reused buffer, flushed once per response:
+	// gob frames stay intact and each response costs one conn write instead
+	// of several small ones.
+	bw := bufio.NewWriter(conn)
+	enc := gob.NewEncoder(bw)
 	for {
 		var req request
 		if err := dec.Decode(&req); err != nil {
@@ -179,6 +185,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		resp := s.handle(&req)
 		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
 			return
 		}
 	}
@@ -322,6 +331,15 @@ type pendingReply struct {
 	deliver func(*response, error) // nil for one-way sends
 }
 
+// oneWayAck is the shared pending entry of every one-way send: the reader
+// only inspects its fields, so the windowed hot path enqueues one static
+// record instead of allocating per call.
+var oneWayAck = &pendingReply{oneWay: true}
+
+// requestPool recycles request frames on the send hot path; a request is
+// fully serialised when Encode returns, so post can release it immediately.
+var requestPool = sync.Pool{New: func() any { return new(request) }}
+
 // Client is a pipelined connection to an RMI server: requests are written in
 // call order and a background reader matches the in-order responses back to
 // callers, so many invocations can overlap on one TCP connection (like a
@@ -332,6 +350,7 @@ type Client struct {
 	// sendMu serialises encoder writes; the pending append happens under it
 	// too, so queue order always equals wire order.
 	sendMu sync.Mutex
+	bw     *bufio.Writer
 	enc    *gob.Encoder
 
 	mu            sync.Mutex
@@ -350,7 +369,8 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rmi: dial %s: %w", addr, err)
 	}
-	c := &Client{conn: conn, enc: gob.NewEncoder(conn), windowSize: DefaultSendWindow}
+	bw := bufio.NewWriter(conn)
+	c := &Client{conn: conn, bw: bw, enc: gob.NewEncoder(bw), windowSize: DefaultSendWindow}
 	c.cond = sync.NewCond(&c.mu)
 	go c.readLoop(gob.NewDecoder(conn))
 	return c, nil
@@ -441,18 +461,30 @@ func (c *Client) readLoop(dec *gob.Decoder) {
 
 // post enqueues the pending entry and writes the request, preserving FIFO
 // order between the two. An encode failure poisons the connection: gob
-// streams cannot resynchronise after a partial write.
-func (c *Client) post(req *request, p *pendingReply) error {
+// streams cannot resynchronise after a partial write. The request frame
+// comes from (and returns to) requestPool: it is fully on the buffered
+// writer when Encode returns, so releasing it here is safe.
+func (c *Client) post(object, method string, args []any, oneWay bool, p *pendingReply) error {
+	req := requestPool.Get().(*request)
+	req.Object, req.Method, req.Args, req.OneWay = object, method, args, oneWay
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
 	c.mu.Lock()
 	if err := c.transport; err != nil {
 		c.mu.Unlock()
+		*req = request{}
+		requestPool.Put(req)
 		return err
 	}
 	c.pending = append(c.pending, p)
 	c.mu.Unlock()
-	if err := c.enc.Encode(req); err != nil {
+	err := c.enc.Encode(req)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	*req = request{}
+	requestPool.Put(req)
+	if err != nil {
 		c.fail(fmt.Errorf("rmi: send: %w", err))
 		return fmt.Errorf("rmi: send: %w", err)
 	}
@@ -462,10 +494,10 @@ func (c *Client) post(req *request, p *pendingReply) error {
 // call performs one pipelined two-way exchange; the returned future resolves
 // from the reader goroutine when the in-order response arrives (or from the
 // failing path, whichever comes first — resolution is write-once).
-func (c *Client) call(req *request) *future.Future[*response] {
+func (c *Client) call(object, method string, args []any) *future.Future[*response] {
 	f, resolve := future.New[*response]()
 	p := &pendingReply{deliver: func(r *response, err error) { resolve(r, err) }}
-	if err := c.post(req, p); err != nil {
+	if err := c.post(object, method, args, false, p); err != nil {
 		resolve(nil, err)
 	}
 	return f
@@ -514,7 +546,7 @@ func (c *Client) Flush() error {
 // Lookup resolves a name to a stub; it fails with ErrNotBound for unknown
 // names (the client contacting the name server, the paper's modification 3).
 func (c *Client) Lookup(name string) (*Stub, error) {
-	resp, err := c.call(&request{Object: name}).Get()
+	resp, err := c.call(name, "", nil).Get()
 	if err != nil {
 		return nil, err
 	}
@@ -564,10 +596,48 @@ func (s *Stub) InvokeAsync(method string, args ...any) *future.Future[[]any] {
 			resolve(resp.Results, nil)
 		}
 	}}
-	if err := s.client.post(&request{Object: s.name, Method: method, Args: args}, p); err != nil {
+	if err := s.client.post(s.name, method, args, false, p); err != nil {
 		resolve(nil, err)
 	}
 	return f
+}
+
+// InvokeCB ships the invocation like InvokeAsync but delivers the outcome
+// through deliver instead of a future: no future, no per-call goroutine.
+// deliver runs on the client's reader goroutine (or inline, on an immediate
+// send failure) and must not block — windowed middleware completions hand
+// off to a buffered channel, which fits. This is the windowed dispatch hot
+// path's allocation-lean shape; the alloc-regression test pins it.
+//
+// Delivery is exactly-once: a send failure after the pending entry was
+// enqueued reaches deliver through Client.fail's drain AND surfaces as
+// post's error, so without the guard a dead connection would deliver a
+// second (phantom) outcome — the write-once future absorbed that on the
+// InvokeAsync path, the raw callback must dedupe itself.
+func (s *Stub) InvokeCB(method string, deliver func([]any, error), args ...any) {
+	if method == "" {
+		deliver(nil, errors.New("rmi: empty method name"))
+		return
+	}
+	var delivered atomic.Bool
+	once := func(res []any, err error) {
+		if delivered.CompareAndSwap(false, true) {
+			deliver(res, err)
+		}
+	}
+	p := &pendingReply{deliver: func(resp *response, err error) {
+		switch {
+		case err != nil:
+			once(nil, err)
+		case resp.Err != "":
+			once(resp.Results, &RemoteError{Msg: resp.Err})
+		default:
+			once(resp.Results, nil)
+		}
+	}}
+	if err := s.client.post(s.name, method, args, false, p); err != nil {
+		once(nil, err)
+	}
 }
 
 // Send ships a one-way invocation: it returns once the request is written,
@@ -582,8 +652,7 @@ func (s *Stub) Send(method string, args ...any) error {
 	if err := s.client.acquireSendCredit(); err != nil {
 		return err
 	}
-	return s.client.post(&request{Object: s.name, Method: method, Args: args, OneWay: true},
-		&pendingReply{oneWay: true})
+	return s.client.post(s.name, method, args, true, oneWayAck)
 }
 
 // Flush waits for this stub's connection to drain its one-way window; see

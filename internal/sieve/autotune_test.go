@@ -1,0 +1,99 @@
+package sieve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAutotuneOffIsByteIdentical pins satellite (c) of ISSUE 4: with
+// Params.Autotune off, the self-scheduling farms' virtual-time schedules are
+// byte-identical to the pre-tuner implementation. The golden values were
+// captured from the PR 3 tree at these exact parameters; any drift means the
+// fixed-knob dispatch path changed, which the checked-in bench baseline
+// forbids.
+func TestAutotuneOffIsByteIdentical(t *testing.T) {
+	golden := []struct {
+		v         Variant
+		skew      float64
+		window    int
+		elapsedNs int64
+		count     int
+		sum       uint64
+	}{
+		{FarmStealing, 8, 0, 34792344, 25997, 3709507114},
+		{FarmStealing, 0, 0, 31833708, 25997, 3709507114},
+		{FarmDRMI, 8, 0, 39730439, 25997, 3709507114},
+		{FarmDRMI, 0, 0, 31277247, 25997, 3709507114},
+		{FarmStealing, 8, 3, 33502118, 25997, 3709507114},
+	}
+	for _, g := range golden {
+		p := Params{Max: 300_000, Packs: 30, Filters: 4, Skew: g.skew, Window: g.window}
+		res, err := Run(g.v, p)
+		if err != nil {
+			t.Fatalf("%s skew=%g window=%d: %v", g.v, g.skew, g.window, err)
+		}
+		if res.Elapsed.Nanoseconds() != g.elapsedNs {
+			t.Errorf("%s skew=%g window=%d: elapsed %d ns, golden %d ns (fixed-knob path drifted)",
+				g.v, g.skew, g.window, res.Elapsed.Nanoseconds(), g.elapsedNs)
+		}
+		if res.PrimeCount != g.count || res.PrimeSum != g.sum {
+			t.Errorf("%s skew=%g window=%d: checksum %d/%d, golden %d/%d",
+				g.v, g.skew, g.window, res.PrimeCount, res.PrimeSum, g.count, g.sum)
+		}
+		if res.Tune.AvgServiceNs != 0 || res.Tune.Chunks != 0 {
+			t.Errorf("%s: tuning activity with Autotune off: %+v", g.v, res.Tune)
+		}
+	}
+}
+
+// TestAutotuneAcceptance pins the tentpole's acceptance targets on the gated
+// bench geometry (the paper's packs=50 split at max 2,000,000): the
+// autotuned stealing farm must beat the fixed defaults outright on the
+// skew-×8 cells at 4 and 8 filters, stay within 5% of the fixed
+// configuration everywhere, and produce identical prime checksums. Virtual
+// time is deterministic, so these are exact comparisons, not statistics.
+func TestAutotuneAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gated-geometry runs are slow; run without -short (CI does)")
+	}
+	type cell struct {
+		filters   int
+		skew      float64
+		mustBeat  bool // tuned strictly faster than fixed
+		tolerance float64
+	}
+	cells := []cell{
+		{4, 8, true, 0},
+		{8, 8, true, 0},
+		{16, 8, false, 0.05},
+		{8, 0, false, 0.05},
+	}
+	for _, c := range cells {
+		run := func(autotune bool) Result {
+			p := Params{Max: 2_000_000, Packs: 50, Filters: c.filters, Skew: c.skew, Autotune: autotune}
+			res, err := Run(FarmStealing, p)
+			if err != nil {
+				t.Fatalf("filters=%d skew=%g autotune=%v: %v", c.filters, c.skew, autotune, err)
+			}
+			return res
+		}
+		fixed := run(false)
+		tuned := run(true)
+		if fixed.PrimeCount != tuned.PrimeCount || fixed.PrimeSum != tuned.PrimeSum {
+			t.Errorf("filters=%d skew=%g: tuned checksum %d/%d != fixed %d/%d",
+				c.filters, c.skew, tuned.PrimeCount, tuned.PrimeSum, fixed.PrimeCount, fixed.PrimeSum)
+		}
+		if c.mustBeat && tuned.Elapsed >= fixed.Elapsed {
+			t.Errorf("filters=%d skew=%g: tuned %v did not beat fixed %v",
+				c.filters, c.skew, tuned.Elapsed, fixed.Elapsed)
+		}
+		if limit := time.Duration(float64(fixed.Elapsed) * (1 + c.tolerance)); tuned.Elapsed > limit {
+			t.Errorf("filters=%d skew=%g: tuned %v beyond %v (fixed %v + %.0f%%)",
+				c.filters, c.skew, tuned.Elapsed, limit, fixed.Elapsed, c.tolerance*100)
+		}
+		if c.mustBeat && tuned.Tune.Chunks == 0 {
+			t.Errorf("filters=%d skew=%g: pack-size controller never chunked: %+v",
+				c.filters, c.skew, tuned.Tune)
+		}
+	}
+}

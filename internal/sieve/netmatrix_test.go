@@ -91,6 +91,29 @@ func TestNetMatchesSimulatedRMI(t *testing.T) {
 	}
 }
 
+// TestNetAutotuned runs the stealing farm over the real middleware with the
+// tuning controllers on: the transport stamps no timing signals, so the
+// window controller must fall back to the fixed depth (never starving the
+// pipe), placement-aware victim selection runs against the real two-node
+// placement, and the primes still match the oracle exactly.
+func TestNetAutotuned(t *testing.T) {
+	requireLoopback(t)
+	p := netParams()
+	p.Autotune = true
+	want, err := HandSequential(p.Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCombo(Combo{PartStealingFarm, ConcMerged, DistNet}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPrimesEqual(t, res.Primes, want)
+	if st := res.Steals; st.LocalSteals+st.RemoteSteals != st.Steals {
+		t.Errorf("steal locality accounting broken over net: %+v", st)
+	}
+}
+
 // TestNetWindowOne pins the synchronous degradation over the real transport:
 // window 1 must produce the same primes as the pipelined window.
 func TestNetWindowOne(t *testing.T) {

@@ -266,6 +266,16 @@ type Params struct {
 	// farms (FarmDRMI, FarmStealing): packs kept in flight per worker. 0
 	// selects par.DefaultWindow, 1 the synchronous per-pack round trip.
 	Window int
+	// Autotune switches on par's online tuning controllers for the
+	// self-scheduling farms: window depth, pack chunking and
+	// placement-aware victim selection adapt from measured signals (see
+	// par.AutotuneConfig). Off by default — fixed-knob runs stay
+	// bit-identical to the checked-in virtual-time baseline.
+	Autotune bool
+	// Tune overrides the tuning controllers' defaults when Autotune is set
+	// (Enabled is forced on); the zero value selects all controllers with
+	// default gains.
+	Tune par.AutotuneConfig
 	// KeepPrimes retains the full sorted prime list in Result.Primes —
 	// used by the conformance harness; large sweeps leave it off and
 	// compare checksums.
@@ -325,6 +335,9 @@ type Result struct {
 	// Steals reports the work-stealing scheduler's counters (zero unless
 	// the stealing farm ran).
 	Steals par.StealStats
+	// Tune reports the tuning controllers' counters (zero unless
+	// Params.Autotune enabled them).
+	Tune par.TuneStats
 }
 
 // Run executes one variant and returns its result. Every run builds a fresh
@@ -574,6 +587,8 @@ func build(c Combo, p Params) (*wiring, error) {
 		mods = append(mods, w.pipe)
 
 	case PartFarm, PartDynamicFarm, PartStealingFarm:
+		tune := p.Tune
+		tune.Enabled = p.Autotune || tune.Enabled
 		w.farm = par.NewFarm(par.FarmConfig{
 			Class:    w.class,
 			Method:   "Filter",
@@ -583,6 +598,7 @@ func build(c Combo, p Params) (*wiring, error) {
 			Stealing: c.Partition == PartStealingFarm,
 			Steal:    p.Steal,
 			Window:   p.Window,
+			Autotune: tune,
 		})
 		mods = append(mods, w.farm)
 
@@ -619,6 +635,13 @@ func build(c Combo, p Params) (*wiring, error) {
 	if p.PackingDegree > 1 && !seq {
 		w.packing = par.NewPacking(w.class, "Filter", p.PackingDegree)
 		mods = append(mods, w.packing)
+	}
+
+	if w.farm != nil && w.dist != nil {
+		// Feed replica placements to the farm's tuning layer — only over a
+		// middleware that prices locality (see Distribution.TunePlacement);
+		// inert unless Autotune enabled the placement controller.
+		w.dist.TunePlacement(w.farm)
 	}
 
 	overhead := p.DispatchOverhead
@@ -704,6 +727,7 @@ func runWoven(v Variant, c Combo, p Params) (Result, error) {
 	}
 	if w.farm != nil {
 		res.Steals = w.farm.StealStats()
+		res.Tune = w.farm.TuneStats()
 	}
 	return res, nil
 }
