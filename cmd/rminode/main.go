@@ -21,7 +21,9 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
+	"time"
 
 	"aspectpar/internal/apps/mandel"
 	"aspectpar/internal/exec"
@@ -32,7 +34,8 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", "127.0.0.1:0", "TCP address to serve on (port 0 picks a free one)")
+		addr  = flag.String("addr", "127.0.0.1:0", "TCP address to serve on (port 0 picks a free one)")
+		drill = flag.Int("drill-crash", 0, "crash-and-restart drill: abort the node after every N served requests and restart a fresh incarnation (new session epoch, empty registry) on the same address — pair with a fault-tolerant driver (sieve -faults) to watch it ride through (0 = off)")
 	)
 	flag.Parse()
 
@@ -40,11 +43,16 @@ func main() {
 	// of the distribution seam. No modules are plugged: placed objects run
 	// their plain sequential bodies here, mutual exclusion is provided by the
 	// per-connection serial dispatch of the transport.
-	dom := par.NewDomain()
-	node := rmi.NewNode(exec.Real())
-	par.HostClass(node, sieve.DefineClass(dom))
-	par.HostClass(node, mandel.DefineClass(dom))
+	makeNode := func() *rmi.Node {
+		dom := par.NewDomain()
+		node := rmi.NewNode(exec.Real())
+		par.HostClass(node, sieve.DefineClass(dom))
+		par.HostClass(node, mandel.DefineClass(dom))
+		return node
+	}
 
+	var mu sync.Mutex
+	node := makeNode()
 	bound, err := node.Listen(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rminode:", err)
@@ -52,9 +60,53 @@ func main() {
 	}
 	fmt.Printf("rminode: serving %s on %s\n", strings.Join(node.Classes(), ", "), bound)
 
+	if *drill > 0 {
+		// The drill loop: each incarnation serves its quota, crashes without
+		// draining (the failure a fault-tolerant driver must survive), and a
+		// fresh one — new epoch, everything placed here lost — takes over the
+		// address. Exactly the cycle the chaos CI matrix scripts in-process.
+		go func() {
+			for {
+				mu.Lock()
+				cur := node
+				mu.Unlock()
+				if cur.Requests() < int64(*drill) {
+					time.Sleep(2 * time.Millisecond)
+					continue
+				}
+				fmt.Printf("rminode: drill — crashing after %d requests (epoch %d)\n", cur.Requests(), cur.Epoch())
+				cur.Abort()
+				fresh := makeNode()
+				rebound := false
+				var lastErr error
+				for attempt := 0; attempt < 50; attempt++ {
+					if _, lastErr = fresh.Listen(bound); lastErr == nil {
+						rebound = true
+						break
+					}
+					time.Sleep(5 * time.Millisecond)
+				}
+				if !rebound {
+					// Another process grabbed the port (or the bind fails for
+					// good): say so and stop the drill instead of silently
+					// spinning while drivers burn their reconnect budgets.
+					fmt.Fprintf(os.Stderr, "rminode: drill — cannot rebind %s, drill stopped: %v\n", bound, lastErr)
+					return
+				}
+				fmt.Printf("rminode: drill — restarted on %s (epoch %d)\n", bound, fresh.Epoch())
+				mu.Lock()
+				node = fresh
+				mu.Unlock()
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("rminode: shutting down (draining in-flight calls)")
-	node.Close()
+	mu.Lock()
+	cur := node
+	mu.Unlock()
+	cur.Close()
 }

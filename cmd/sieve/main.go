@@ -29,6 +29,7 @@ func main() {
 		skew    = flag.Float64("skew", 0, "make every filters-th pack this many times larger (load imbalance)")
 		window  = flag.Int("window", 0, "dispatch window of the self-scheduling farms (0 = default, 1 = synchronous)")
 		tune    = flag.Bool("autotune", false, "switch on the online tuning controllers (window depth, pack chunking, placement-aware stealing)")
+		faults  = flag.Bool("faults", false, "with -net: enable fault tolerance — journaled calls, reconnect/replay across node crashes, placement failover (kill an rminode mid-run and watch the farm finish)")
 		netList = flag.String("net", "", "comma-separated rminode addresses: run the variant's cell over the real TCP middleware instead of the simulated testbed")
 		verify  = flag.Bool("verify", false, "cross-check primes against a sequential sieve of Eratosthenes")
 	)
@@ -45,6 +46,10 @@ func main() {
 	var res sieve.Result
 	var err error
 	overWire := *netList != ""
+	if *faults && !overWire {
+		fmt.Fprintln(os.Stderr, "sieve: -faults only applies to -net runs (the simulated middlewares model no transport failures)")
+		os.Exit(2)
+	}
 	if overWire {
 		c, ok := sieve.ComboOf(sieve.Variant(*variant))
 		if !ok || c.Distribution == sieve.DistNone {
@@ -52,6 +57,9 @@ func main() {
 			os.Exit(2)
 		}
 		c.Distribution = sieve.DistNet
+		if *faults {
+			p.Faults = par.FaultPolicy{Enabled: true}
+		}
 		for _, a := range strings.Split(*netList, ",") {
 			if a = strings.TrimSpace(a); a != "" {
 				p.NetAddrs = append(p.NetAddrs, a)
@@ -100,6 +108,11 @@ func main() {
 		fmt.Printf("autotuner    : %d window grows, %d sheds, %d packs chunked; avg pack service %v\n",
 			res.Tune.WindowGrows, res.Tune.WindowSheds, res.Tune.Chunks,
 			time.Duration(res.Tune.AvgServiceNs).Round(time.Microsecond))
+	}
+	if *faults {
+		f := res.Faults
+		fmt.Printf("fault layer  : %d reconnects, %d replays, %d failovers, %d dropped peers, %d requeued packs\n",
+			f.Reconnects, f.Replays, f.Failovers, f.DroppedPeers, f.Requeues)
 	}
 
 	if *verify {

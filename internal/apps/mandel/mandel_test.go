@@ -2,6 +2,7 @@ package mandel
 
 import (
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -258,5 +259,108 @@ func TestNetMatchesSequential(t *testing.T) {
 				t.Error("no middleware traffic counted — rendering did not cross the wire")
 			}
 		})
+	}
+}
+
+// TestChaosNetMandel is the mandel half of the chaos matrix: the stealing
+// row farm runs over a fault-enabled NetRMI while a watcher crash-restarts
+// one node daemon mid-render. Rows carry real state (the rendered pixels
+// accumulate in each worker), so the pixel-exact comparison against the
+// sequential oracle proves the crash neither lost nor double-rendered a row
+// — reconnect, state reconstruction and replay all had to work.
+func TestChaosNetMandel(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback TCP unavailable: %v", err)
+	}
+	ln.Close()
+	spec := DefaultSpec(40, 24)
+	want := Sequential(spec)
+
+	var mu sync.Mutex
+	nodes := make([]*rmi.Node, 2)
+	addrs := make([]string, 2)
+	for i := range nodes {
+		node := rmi.NewNode(exec.Real())
+		par.HostClass(node, DefineClass(par.NewDomain()))
+		addr, err := node.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i], addrs[i] = node, addr
+	}
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+
+	// The watcher: crash node 1 after it served a handful of requests and
+	// restart a fresh incarnation (new epoch, empty domain) on its address.
+	stop := make(chan struct{})
+	defer close(stop)
+	killed := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(200 * time.Microsecond):
+			}
+			mu.Lock()
+			victim := nodes[1]
+			mu.Unlock()
+			if victim.Requests() < 6 {
+				continue
+			}
+			victim.Abort()
+			fresh := rmi.NewNode(exec.Real())
+			par.HostClass(fresh, DefineClass(par.NewDomain()))
+			for attempt := 0; attempt < 50; attempt++ {
+				if _, err := fresh.Listen(addrs[1]); err == nil {
+					break
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			mu.Lock()
+			nodes[1] = fresh
+			mu.Unlock()
+			close(killed)
+			return
+		}
+	}()
+
+	mw := par.NewNetRMI(par.NetAddressTable(addrs...))
+	mw.SetFaultPolicy(par.FaultPolicy{
+		Enabled:   true,
+		Reconnect: rmi.ReconnectPolicy{MaxAttempts: 20, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 20 * time.Millisecond},
+	})
+	defer mw.Close()
+	w := Build(spec, 3, Config{
+		Schedule:   Stealing,
+		Distribute: mw,
+		Placement:  par.RoundRobin(0, len(addrs)),
+	})
+	got, err := w.Render(exec.Real(), spec)
+	if err != nil {
+		t.Fatalf("chaos render: %v", err)
+	}
+	for r := range want {
+		for c := range want[r] {
+			if got[r][c] != want[r][c] {
+				t.Fatalf("pixel (%d,%d) = %d, want %d (crash lost or double-rendered a row)",
+					r, c, got[r][c], want[r][c])
+			}
+		}
+	}
+	select {
+	case <-killed:
+		if st := mw.FaultStats(); st.Reconnects == 0 && st.DroppedPeers == 0 {
+			t.Errorf("node was killed mid-render but FaultStats is empty: %+v", st)
+		}
+	default:
+		t.Log("kill fired after the render finished; fault path not exercised this run")
 	}
 }

@@ -184,5 +184,63 @@
 // remote failures in the middleware's Join, which Stack.Join drains.
 // NetRMI performs real blocking I/O and therefore runs only under the real
 // exec backend, with wall-clock elapsed times; the simulated cells remain
-// the deterministic cost model.
+// the deterministic cost model. Real-transport completions carry the same
+// tuning signals as the simulated ones — node-side service time stamped
+// into each response, client-side RTT measured at the stub — so the
+// adaptive controllers above engage over TCP too.
+//
+// # Failure handling (fault-tolerant NetRMI)
+//
+// The behaviour above is fail-fast: one lost connection poisons its peer's
+// window permanently. [FaultPolicy] ([NetRMI.SetFaultPolicy], netfault.go)
+// turns on the resilience layer for long-lived deployments; the zero value
+// keeps every dispatch path bit-identical to fail-fast. Three mechanisms
+// compose, each building on the session layer package rmi provides (epoch
+// handshakes, session-tracked requests, server-side at-most-once dedupe):
+//
+//   - Reconnect + replay. Every call — windowed pack, synchronous gather,
+//     one-way void send — is journaled per peer, keyed by a session
+//     sequence number, until its acknowledgement. On a transport failure a
+//     recovery goroutine re-dials under the bounded-backoff
+//     rmi.ReconnectPolicy; a matching session epoch means the node (and
+//     its objects) survived a transport blip, so the unacknowledged
+//     journal replays with its original sequence numbers and the node's
+//     dedupe absorbs whatever was applied before the connection died —
+//     including a call still mid-dispatch, which the replay waits for
+//     rather than re-executing.
+//
+//   - Reincarnation. A changed epoch means the node restarted: its placed
+//     objects, with all their accumulated state, are gone. Recovery re-runs
+//     each object's creation protocol from the journaled constructor
+//     arguments, replays its applied-call history in order (re-execution
+//     is correct exactly because the old incarnation's effects vanished
+//     with it), and then replays the unacknowledged tail.
+//
+//   - Placement failover. When the reconnect budget is exhausted the peer
+//     is dropped and its objects are rebuilt the same way on a surviving
+//     node; the registry placement is remapped, so [Distribution.NodeOf] —
+//     and the placement-aware stealing it feeds — follows the move. If no
+//     surviving node hosts the class, the pending calls fail and Join
+//     surfaces a typed [NoFailoverError]: fail fast, never silent loss.
+//
+// FaultPolicy.RequeueOrphans changes who owns a lost session's in-flight
+// packs: instead of replaying them, the middleware hands them back as
+// retryable [FaultError]s carrying the original arguments, and the
+// stealing farm's windowed loop re-absorbs them into the deques — a
+// surviving replica's worker re-executes them, and the scheduler's
+// Executed == Seeded + Splits invariant holds through the crash because
+// an orphaned pack was never counted finished. A worker whose replica
+// keeps orphaning goes dead (its queued packs stay stealable); if every
+// replica is lost with work outstanding, the round aborts with an error.
+//
+// Two guards close the reset race: NetRMI.Reset bumps the journal
+// generation (an in-flight recovery abandons instead of resurrecting
+// pre-reset exports), and the node's reset rotates its session epoch (a
+// replay that slips past the client-side check is rejected as stale,
+// rmi.ErrStaleSession). [NetRMI.FaultStats] counts reconnects, replays,
+// failovers, dropped peers and requeued orphans; the chaos CI matrix kills
+// node daemons at seeded points mid-run and pins every cell to the
+// hand-coded oracle. The journal holds constructor arguments and applied
+// calls for the run's lifetime — bounded work for experiment-shaped runs;
+// checkpointing the history is the noted cost of truly unbounded ones.
 package par

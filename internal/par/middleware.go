@@ -138,6 +138,28 @@ func (r *registry) lookup(obj any) (*exportEntry, bool) {
 	return e, ok
 }
 
+// nodeOf reads an entry's placement under the registry lock — the read the
+// fault layer's failover remap races against.
+func (r *registry) nodeOf(obj any) (exec.NodeID, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.objs[obj]
+	if !ok {
+		return 0, false
+	}
+	return e.node, true
+}
+
+// setNode remaps an exported object's placement — the fault layer's
+// failover moving a lost node's objects to a surviving one.
+func (r *registry) setNode(obj any, node exec.NodeID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.objs[obj]; ok {
+		e.node = node
+	}
+}
+
 // statsBox accumulates CommStats under a lock.
 type statsBox struct {
 	mu sync.Mutex
@@ -182,13 +204,10 @@ func newMWCore() mwCore {
 // Stats implements Middleware.
 func (m *mwCore) Stats() CommStats { return m.stats.get() }
 
-// NodeOf implements Middleware.
+// NodeOf implements Middleware. The read goes through the registry lock so
+// a concurrent failover remap (setNode) is observed atomically.
 func (m *mwCore) NodeOf(obj any) (exec.NodeID, bool) {
-	e, ok := m.reg.lookup(obj)
-	if !ok {
-		return 0, false
-	}
-	return e.node, true
+	return m.reg.nodeOf(obj)
 }
 
 // entryOf resolves obj's export entry, failing with the uniform

@@ -1,0 +1,1076 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aspectpar/internal/exec"
+	"aspectpar/internal/rmi"
+)
+
+// This file is NetRMI's fault-tolerance subsystem: an optional layer (see
+// FaultPolicy; the zero value keeps the fail-fast behaviour bit-identical)
+// that turns a transport failure from a run-killing poison into something the
+// middleware recovers from. Three mechanisms compose:
+//
+//   - Reconnect + replay (same incarnation): every call is journaled per
+//     peer, keyed by a session sequence number, until its acknowledgement
+//     arrives. When the connection dies, a recovery goroutine re-dials under
+//     the bounded-backoff rmi.ReconnectPolicy; if the session-epoch handshake
+//     shows the same server incarnation (a transport blip — the node and its
+//     objects survived), the unacknowledged journal is replayed with its
+//     original sequence numbers and the server's at-most-once dedupe absorbs
+//     the calls that were applied before the connection died.
+//
+//   - Reincarnation (same node, new epoch): a changed epoch means the node
+//     restarted and every placed object — with all its accumulated state —
+//     is gone. Recovery re-runs each object's creation protocol from the
+//     journaled constructor arguments and replays its applied-call history in
+//     order, reconstructing the state; re-execution is correct precisely
+//     because the previous incarnation's effects vanished with it. Then the
+//     unacknowledged calls are replayed (or, under RequeueOrphans, handed
+//     back to the scheduler as retryable orphans).
+//
+//   - Placement failover (node unreachable): when the reconnect budget is
+//     exhausted the peer is declared lost. Unless NoFailover is set, its
+//     objects are re-created on a surviving node the same way (creation +
+//     history replay), the registry placement is remapped — Distribution's
+//     NodeOf, and with it the scheduler's placement-aware stealing, now
+//     reports the surviving node — and the orphaned calls follow. When no
+//     surviving node hosts the class, the journal is failed with a typed
+//     NoFailoverError that Join surfaces: fail fast, not silent loss.
+//
+// Everything is guarded by a generation counter: NetRMI.Reset (a driver
+// starting a fresh run) and Close bump it, and a recovery observing a stale
+// generation abandons instead of resurrecting pre-reset exports. The node
+// guards the same race from its side by rotating its session epoch on reset,
+// so a replay that slips past the client-side check is rejected as stale.
+
+// FaultPolicy configures NetRMI's fault tolerance. The zero value disables
+// it: transport failures poison the peer's window permanently and fail fast,
+// exactly the pre-fault behaviour.
+type FaultPolicy struct {
+	// Enabled turns the journal, reconnect/replay and failover machinery on.
+	Enabled bool
+	// Reconnect bounds each recovery round's re-dial schedule; the zero
+	// value selects rmi.ReconnectPolicy's defaults (5 attempts, 5ms..250ms
+	// exponential backoff).
+	Reconnect rmi.ReconnectPolicy
+	// MaxRecoveryRounds is the number of full reconnect+replay cycles per
+	// failure before the peer is declared lost (a replay can itself hit a
+	// dying node); 0 selects 2.
+	MaxRecoveryRounds int
+	// NoFailover keeps recovery reconnect-only: a lost peer's calls fail
+	// (or requeue, see RequeueOrphans) instead of moving its objects to a
+	// surviving node.
+	NoFailover bool
+	// RequeueOrphans hands the unacknowledged *windowed* calls of a lost
+	// session back to their caller as retryable FaultErrors instead of
+	// replaying them: the stealing farm's scheduler re-absorbs the orphaned
+	// packs and a surviving replica re-executes them. Object state is still
+	// reconstructed by history replay; only the in-flight packs change hands.
+	RequeueOrphans bool
+}
+
+func (p FaultPolicy) withDefaults() FaultPolicy {
+	if p.MaxRecoveryRounds <= 0 {
+		p.MaxRecoveryRounds = 2
+	}
+	return p
+}
+
+// FaultStats counts what the fault layer did — the observability a
+// resilience mechanism needs to be trusted. Snapshot via NetRMI.FaultStats.
+type FaultStats struct {
+	// Reconnects counts successful re-dials (same or new incarnation).
+	Reconnects int64
+	// Replays counts journal entries re-executed after a reconnect —
+	// unacknowledged calls and applied-history calls alike.
+	Replays int64
+	// Failovers counts objects re-created on a fresh incarnation: on their
+	// own restarted node, or on a surviving node after placement failover.
+	Failovers int64
+	// DroppedPeers counts peers given up on after the recovery budget.
+	DroppedPeers int64
+	// Requeues counts windowed calls handed back to the scheduler as
+	// retryable orphans (FaultPolicy.RequeueOrphans).
+	Requeues int64
+}
+
+// FaultError wraps a call the fault layer could not transparently recover.
+// Retryable reports that the call never executed anywhere — its state effect
+// is not lost, just unplaced — so the caller may re-dispatch it elsewhere;
+// the stealing farm's windowed loop does exactly that with the original
+// Args (scheduler reabsorption). Non-retryable errors are terminal.
+type FaultError struct {
+	Object    string
+	Method    string
+	Node      exec.NodeID
+	Retryable bool
+	// Args is the original argument list of a retryable call: the pack the
+	// scheduler re-absorbs. Nil on terminal errors.
+	Args []any
+	Err  error
+}
+
+// Error implements error.
+func (e *FaultError) Error() string {
+	verb := "lost"
+	if e.Retryable {
+		verb = "orphaned"
+	}
+	return fmt.Sprintf("par: netrmi %s call %s.%s (node %d): %v", verb, e.Object, e.Method, e.Node, e.Err)
+}
+
+// Unwrap implements errors.Is/As chaining.
+func (e *FaultError) Unwrap() error { return e.Err }
+
+// NoFailoverError reports that an exported object lost its node and no
+// surviving node could host its class: recovery has nowhere to re-create it,
+// so the run must fail fast. It surfaces through NetRMI's Join (and wrapped
+// inside the FaultErrors delivered to the object's pending calls).
+type NoFailoverError struct {
+	Object string
+	Class  string
+	Node   exec.NodeID
+	Err    error
+}
+
+// Error implements error.
+func (e *NoFailoverError) Error() string {
+	return fmt.Sprintf("par: netrmi cannot fail over %s (class %s) off node %d: %v", e.Object, e.Class, e.Node, e.Err)
+}
+
+// Unwrap implements errors.Is/As chaining.
+func (e *NoFailoverError) Unwrap() error { return e.Err }
+
+// errPeerLost is the base cause of calls dropped with an unreachable peer.
+var errPeerLost = errors.New("peer unreachable after reconnect budget")
+
+// errMWReset marks calls invalidated by a middleware Reset racing recovery.
+var errMWReset = errors.New("netrmi reset")
+
+// peer fault states.
+const (
+	pfHealthy = iota
+	pfRecovering
+	pfDead
+)
+
+// netCall is one journaled invocation: it stays in its peer's in-flight
+// journal from submission until the server's acknowledgement, which is what
+// makes replay after a connection loss possible at all.
+type netCall struct {
+	seq      uint64
+	ref      *NetRef
+	method   string
+	args     []any
+	void     bool
+	windowed bool
+	// deliver hands the outcome to the caller exactly once; nil for
+	// fire-and-forget void calls, whose terminal failures go to the Join
+	// error list instead.
+	deliver func(res []any, service time.Duration, err error)
+}
+
+// peerFault is one peer's journal and recovery state.
+type peerFault struct {
+	// sendMu serialises this peer's tagged posts, so its wire order always
+	// equals its sequence order — the invariant the server's max-applied
+	// dedupe rests on. Per peer, not per middleware: one peer's full send
+	// window must not stall submissions to the others. Held only across
+	// seq assignment + post, never across a response wait; always acquired
+	// before fa.mu, never while holding it.
+	sendMu sync.Mutex
+
+	node     exec.NodeID
+	state    int
+	nextSeq  uint64
+	inflight map[uint64]*netCall
+	order    []uint64 // seqs in submission order (replay order)
+}
+
+// netExport is the fault layer's record of one placed object: everything
+// needed to re-create it — constructor arguments and the history of applied
+// calls — plus its current placement.
+type netExport struct {
+	ref      *NetRef
+	name     string
+	class    *Class
+	node     exec.NodeID
+	ctorArgs []any
+	history  []histEntry
+	dead     bool
+}
+
+type histEntry struct {
+	method string
+	args   []any
+}
+
+// netFaults is the per-middleware fault state: policy, journals, export
+// records, the generation guard and the stats.
+type netFaults struct {
+	m      *NetRMI
+	policy FaultPolicy
+	nonce  int64 // session-identity nonce, unique per middleware instance
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	gen     int64
+	closed  bool
+	peers   map[exec.NodeID]*peerFault
+	exports map[*NetRef]*netExport
+	errs    []error // terminal fault errors, drained by Join
+
+	reconnects   atomic.Int64
+	replays      atomic.Int64
+	failovers    atomic.Int64
+	droppedPeers atomic.Int64
+	requeues     atomic.Int64
+}
+
+var faultNonce atomic.Int64
+
+func newNetFaults(m *NetRMI, policy FaultPolicy) *netFaults {
+	fa := &netFaults{
+		m:       m,
+		policy:  policy.withDefaults(),
+		nonce:   time.Now().UnixNano() + faultNonce.Add(1),
+		peers:   make(map[exec.NodeID]*peerFault),
+		exports: make(map[*NetRef]*netExport),
+	}
+	fa.cond = sync.NewCond(&fa.mu)
+	return fa
+}
+
+// sessionID is the stable identity node sees from this middleware across
+// reconnects — the dedupe key of its session.
+func (fa *netFaults) sessionID(node exec.NodeID) string {
+	return fmt.Sprintf("netrmi-%d/n%d", fa.nonce, node)
+}
+
+func (fa *netFaults) stats() FaultStats {
+	return FaultStats{
+		Reconnects:   fa.reconnects.Load(),
+		Replays:      fa.replays.Load(),
+		Failovers:    fa.failovers.Load(),
+		DroppedPeers: fa.droppedPeers.Load(),
+		Requeues:     fa.requeues.Load(),
+	}
+}
+
+// peerLocked returns node's fault record, creating it lazily. fa.mu held.
+func (fa *netFaults) peerLocked(node exec.NodeID) *peerFault {
+	pf := fa.peers[node]
+	if pf == nil {
+		pf = &peerFault{node: node, inflight: make(map[uint64]*netCall)}
+		fa.peers[node] = pf
+	}
+	return pf
+}
+
+// stale reports whether gen no longer names the live generation.
+func (fa *netFaults) stale(gen int64) bool {
+	fa.mu.Lock()
+	defer fa.mu.Unlock()
+	return gen != fa.gen || fa.closed
+}
+
+// trackExport records a fresh export's re-creation recipe.
+func (fa *netFaults) trackExport(ref *NetRef, class *Class, ctorArgs []any) {
+	fa.mu.Lock()
+	fa.exports[ref] = &netExport{
+		ref: ref, name: ref.Name, class: class, node: ref.Node,
+		ctorArgs: append([]any(nil), ctorArgs...),
+	}
+	fa.mu.Unlock()
+}
+
+// exportsOn snapshots the live exports currently placed on node, in a
+// stable (name) order so recovery is reproducible. fa.mu must NOT be held.
+func (fa *netFaults) exportsOn(node exec.NodeID) []*netExport {
+	fa.mu.Lock()
+	defer fa.mu.Unlock()
+	var out []*netExport
+	for _, exp := range fa.exports {
+		if exp.node == node && !exp.dead {
+			out = append(out, exp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// --- Submission --------------------------------------------------------------
+
+// invokeAsync is the fault-mode windowed dispatch path: the call is
+// journaled and its completion — stamped with the RTT/service tuning
+// signals like the fail-fast path — arrives on done when it finally
+// executed, possibly after a replay on another incarnation. Void calls keep
+// their complete-at-send semantics: the completion is delivered immediately
+// and the journal holds the call until the acknowledgement.
+func (fa *netFaults) invokeAsync(ctx exec.Context, obj any, method string, args []any, void bool, done exec.Chan) {
+	ref, ok := obj.(*NetRef)
+	if !ok {
+		done.Send(ctx, &Completion{Err: fmt.Errorf("par: netrmi invoke on unexported object (%s)", method)})
+		return
+	}
+	if void {
+		fa.submit(&netCall{ref: ref, method: method, args: args, void: true, windowed: true})
+		done.Send(ctx, &Completion{})
+		return
+	}
+	elems := payloadElems(args)
+	issued := time.Now()
+	fa.submit(&netCall{
+		ref: ref, method: method, args: args, windowed: true,
+		deliver: func(res []any, service time.Duration, err error) {
+			done.Send(ctx, stampCompletion(res, err, issued, service, elems))
+		},
+	})
+}
+
+// invokeSync is the fault-mode synchronous dispatch path: the caller blocks
+// on the journaled call's final outcome — through recovery, if the
+// transport fails under it. Void calls stay fire-and-forget; their terminal
+// failures surface in Join.
+func (fa *netFaults) invokeSync(obj any, method string, args []any, void bool) ([]any, error) {
+	ref, ok := obj.(*NetRef)
+	if !ok {
+		return nil, fmt.Errorf("par: netrmi invoke on unexported object (%s)", method)
+	}
+	if void {
+		fa.submit(&netCall{ref: ref, method: method, args: args, void: true})
+		return nil, nil
+	}
+	type out struct {
+		res []any
+		err error
+	}
+	ch := make(chan out, 1)
+	fa.submit(&netCall{
+		ref: ref, method: method, args: args,
+		deliver: func(res []any, _ time.Duration, err error) { ch <- out{res, err} },
+	})
+	o := <-ch
+	return o.res, o.err
+}
+
+// submit journals one call and transmits it, unless its peer is recovering
+// (the recovery loop transmits queued entries in order) or lost (the call is
+// delivered failed immediately). ref resolution failed upstream when exp is
+// absent.
+func (fa *netFaults) submit(call *netCall) {
+	for {
+		fa.mu.Lock()
+		exp := fa.exports[call.ref]
+		if exp == nil {
+			fa.mu.Unlock()
+			fa.finish(call, nil, 0, fmt.Errorf("par: netrmi invoke on unexported object (%s)", call.method))
+			return
+		}
+		if exp.dead {
+			node := exp.node
+			fa.mu.Unlock()
+			fa.deliverOrphan(call, node, errPeerLost)
+			return
+		}
+		node := exp.node
+		pf := fa.peerLocked(node)
+		fa.mu.Unlock()
+
+		pf.sendMu.Lock()
+		fa.mu.Lock()
+		if fa.exports[call.ref] != exp || exp.dead || exp.node != node {
+			// The placement moved (failover) or the journal generation ended
+			// while we queued for the peer's send slot: resolve again.
+			fa.mu.Unlock()
+			pf.sendMu.Unlock()
+			continue
+		}
+		if pf.state == pfDead {
+			fa.mu.Unlock()
+			pf.sendMu.Unlock()
+			fa.deliverOrphan(call, node, errPeerLost)
+			return
+		}
+		pf.nextSeq++
+		call.seq = pf.nextSeq
+		pf.inflight[call.seq] = call
+		pf.order = append(pf.order, call.seq)
+		recovering := pf.state == pfRecovering
+		gen := fa.gen
+		fa.mu.Unlock()
+		if !recovering {
+			// Transmit inside the peer's send section: wire order == seq order.
+			fa.transmit(pf, call, gen)
+		} // else: the recovery loop drains the journal, this entry included
+		pf.sendMu.Unlock()
+		return
+	}
+}
+
+// transmit puts one journaled call on the wire. Outcomes — including the
+// transport failures that start recovery — flow through onOutcome.
+func (fa *netFaults) transmit(pf *peerFault, call *netCall, gen int64) {
+	stub, err := fa.m.stubOf(call.method, call.ref)
+	if err != nil {
+		fa.settle(pf, call, nil, 0, err)
+		return
+	}
+	if call.void {
+		reqSize := fa.m.sizer.Size(call.args)
+		stub.SendSeq(call.method, call.seq, func(ackErr error) {
+			if ackErr == nil {
+				fa.m.stats.count(2, int64(reqSize+replyFloor))
+			}
+			fa.onOutcome(pf, call, gen, nil, 0, ackErr)
+		}, call.args...)
+		return
+	}
+	fa.m.stats.count(1, int64(fa.m.sizer.Size(call.args)))
+	stub.InvokeSeq(call.method, call.seq, func(res []any, svc time.Duration, err error) {
+		fa.m.stats.count(1, int64(approxReplySize(res)))
+		fa.onOutcome(pf, call, gen, res, svc, err)
+	}, call.args...)
+}
+
+// onOutcome classifies one wire outcome: executed calls settle, transport
+// failures leave the entry journaled and start the peer's recovery.
+func (fa *netFaults) onOutcome(pf *peerFault, call *netCall, gen int64, res []any, svc time.Duration, err error) {
+	if err == nil || isExecuted(err) {
+		fa.settle(pf, call, res, svc, err)
+		return
+	}
+	if errors.Is(err, rmi.ErrStaleSession) {
+		// The node's session epoch rotated under us (a reset raced this
+		// call): the journal is for a session that no longer exists. Never
+		// replay into the fresh one.
+		fa.settle(pf, call, nil, 0, &FaultError{Object: call.ref.Name, Method: call.method, Node: pf.node, Err: err})
+		return
+	}
+	// Transport failure: the call may or may not have been applied — exactly
+	// what the journal + server-side dedupe exist to disambiguate.
+	fa.mu.Lock()
+	if gen != fa.gen || fa.closed {
+		live := pf.inflight[call.seq] == call
+		if live {
+			fa.dropLocked(pf, call.seq)
+		}
+		fa.mu.Unlock()
+		if live {
+			fa.finish(call, nil, 0, err)
+		}
+		return
+	}
+	start := pf.state == pfHealthy
+	if start {
+		pf.state = pfRecovering
+	}
+	fa.mu.Unlock()
+	if start {
+		go fa.recover(pf, gen)
+	}
+}
+
+// isExecuted reports whether err proves the server dispatched the call (a
+// servant-level failure travelled back on a healthy connection).
+func isExecuted(err error) bool {
+	var re *rmi.RemoteError
+	return errors.As(err, &re)
+}
+
+// settle removes a journal entry — the call's outcome is final — records the
+// applied-call history used for state reconstruction, and delivers. A call
+// already settled elsewhere (reset drain, close) is left alone.
+func (fa *netFaults) settle(pf *peerFault, call *netCall, res []any, svc time.Duration, err error) {
+	fa.mu.Lock()
+	if pf.inflight[call.seq] != call {
+		fa.mu.Unlock()
+		return
+	}
+	fa.dropLocked(pf, call.seq)
+	if err == nil {
+		if exp := fa.exports[call.ref]; exp != nil && !exp.dead {
+			exp.history = append(exp.history, histEntry{method: call.method, args: call.args})
+		}
+	}
+	fa.cond.Broadcast()
+	fa.mu.Unlock()
+	fa.finish(call, res, svc, err)
+}
+
+// dropLocked removes seq from pf's journal. fa.mu held.
+func (fa *netFaults) dropLocked(pf *peerFault, seq uint64) {
+	delete(pf.inflight, seq)
+	for i, s := range pf.order {
+		if s == seq {
+			pf.order = append(pf.order[:i], pf.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// finish hands a call's final outcome to its caller; fire-and-forget void
+// calls report terminal failures through the Join error list instead.
+func (fa *netFaults) finish(call *netCall, res []any, svc time.Duration, err error) {
+	if call.deliver != nil {
+		call.deliver(res, svc, err)
+		return
+	}
+	if err != nil {
+		fa.recordErr(err)
+	}
+}
+
+func (fa *netFaults) recordErr(err error) {
+	fa.mu.Lock()
+	fa.errs = append(fa.errs, err)
+	fa.cond.Broadcast()
+	fa.mu.Unlock()
+}
+
+// deliverOrphan fails one call against a lost peer: retryable — so the
+// stealing scheduler re-absorbs the pack — when the policy requeues orphans
+// and the call is a windowed pack with a caller to hand it back to.
+func (fa *netFaults) deliverOrphan(call *netCall, node exec.NodeID, cause error) {
+	retry := fa.policy.RequeueOrphans && call.windowed && call.deliver != nil
+	fe := &FaultError{Object: call.ref.Name, Method: call.method, Node: node, Retryable: retry, Err: cause}
+	if retry {
+		fe.Args = call.args
+		fa.requeues.Add(1)
+	}
+	fa.finish(call, nil, 0, fe)
+}
+
+// --- Recovery ----------------------------------------------------------------
+
+// recover is the per-peer recovery loop: reconnect, then replay (same
+// epoch), reincarnate + replay (new epoch), or fail the peer over when the
+// budget is spent. Exactly one recovery goroutine runs per peer at a time
+// (guarded by the pfRecovering state).
+func (fa *netFaults) recover(pf *peerFault, gen int64) {
+	client := fa.m.clientOf(pf.node)
+	if client == nil {
+		fa.failPeer(pf, gen)
+		return
+	}
+	for round := 0; round < fa.policy.MaxRecoveryRounds; round++ {
+		if fa.stale(gen) {
+			fa.abandon(pf)
+			return
+		}
+		sameEpoch, err := client.Reconnect()
+		if err != nil {
+			break // unreachable within the dial budget
+		}
+		fa.reconnects.Add(1)
+		ok := sameEpoch || fa.reincarnate(pf, gen, pf.node)
+		if ok && fa.replayJournal(pf, gen, sameEpoch) {
+			return // replayJournal healed the peer under the lock
+		}
+		if fa.stale(gen) {
+			fa.abandon(pf)
+			return
+		}
+	}
+	fa.failPeer(pf, gen)
+}
+
+// replayJournal drains the peer's journal in submission order, replaying
+// each entry synchronously — with its original sequence number after a
+// same-epoch reconnect, so the server's dedupe absorbs already-applied
+// calls; with fresh sequence numbers against a new incarnation, whose
+// sessions started empty. Under RequeueOrphans, a new incarnation's
+// windowed entries are handed back to the scheduler instead of replayed.
+// Entries submitted while recovery runs are part of the same drain. When
+// the journal is empty the peer is healed atomically; a transport failure
+// mid-replay returns false and the caller starts another round.
+func (fa *netFaults) replayJournal(pf *peerFault, gen int64, sameEpoch bool) bool {
+	requeue := !sameEpoch && fa.policy.RequeueOrphans
+	for {
+		fa.mu.Lock()
+		if gen != fa.gen || fa.closed {
+			fa.mu.Unlock()
+			return false
+		}
+		if len(pf.order) == 0 {
+			pf.state = pfHealthy
+			fa.cond.Broadcast()
+			fa.mu.Unlock()
+			return true
+		}
+		seq := pf.order[0]
+		call := pf.inflight[seq]
+		fa.mu.Unlock()
+		if requeue && call.windowed && call.deliver != nil {
+			fa.mu.Lock()
+			live := pf.inflight[seq] == call
+			if live {
+				fa.dropLocked(pf, seq)
+			}
+			fa.cond.Broadcast()
+			fa.mu.Unlock()
+			if live {
+				fa.deliverOrphan(call, pf.node, errors.New("session lost before acknowledgement"))
+			}
+			continue
+		}
+		// A same-epoch replay reuses the original sequence number so the
+		// server's dedupe absorbs already-applied calls; a new incarnation's
+		// sessions started empty, so replays take fresh numbers there.
+		fixed := uint64(0)
+		if sameEpoch {
+			fixed = seq
+		}
+		res, svc, err := fa.replayOnce(call, fixed, pf)
+		if err != nil && !isExecuted(err) && !errors.Is(err, rmi.ErrStaleSession) {
+			return false // transport failure: next round reconnects again
+		}
+		if errors.Is(err, rmi.ErrStaleSession) {
+			err = &FaultError{Object: call.ref.Name, Method: call.method, Node: pf.node, Err: err}
+		}
+		fa.replays.Add(1)
+		fa.settle(pf, call, res, svc, err)
+	}
+}
+
+// replayOnce re-executes one journaled call synchronously over the (just
+// reconnected) transport. Either the original sequence number is reused
+// (fixed, same-epoch replay) or a fresh one is drawn from wire's counter;
+// in both cases allocation and post share wire's send section — wire order
+// equals sequence order even when healthy submissions to the same peer (a
+// failover target carrying live traffic) interleave — while the response
+// wait happens outside it.
+func (fa *netFaults) replayOnce(call *netCall, fixed uint64, wire *peerFault) ([]any, time.Duration, error) {
+	stub, err := fa.m.stubOf(call.method, call.ref)
+	if err != nil {
+		return nil, 0, err
+	}
+	type out struct {
+		res []any
+		svc time.Duration
+		err error
+	}
+	ch := make(chan out, 1)
+	wire.sendMu.Lock()
+	seq := fixed
+	if seq == 0 {
+		fa.mu.Lock()
+		wire.nextSeq++
+		seq = wire.nextSeq
+		fa.mu.Unlock()
+	}
+	stub.InvokeSeq(call.method, seq, func(res []any, svc time.Duration, err error) {
+		ch <- out{res, svc, err}
+	}, call.args...)
+	wire.sendMu.Unlock()
+	o := <-ch
+	if o.err == nil {
+		fa.m.stats.count(2, int64(fa.m.sizer.Size(call.args)+approxReplySize(o.res)))
+	}
+	return o.res, o.svc, o.err
+}
+
+// reincarnate re-creates every object placed on pf.node at target (the same
+// node after a restart, a surviving node during failover) and replays each
+// object's applied-call history in order, reconstructing the state the lost
+// incarnation took with it. Re-execution is correct exactly because the
+// previous incarnation's effects are gone.
+func (fa *netFaults) reincarnate(pf *peerFault, gen int64, target exec.NodeID) bool {
+	tp, err := fa.m.peer(target)
+	if err != nil {
+		return false
+	}
+	for _, exp := range fa.exportsOn(pf.node) {
+		if fa.stale(gen) {
+			return false
+		}
+		if !fa.reexport(exp, tp, target, gen) {
+			return false
+		}
+	}
+	return true
+}
+
+// reexport runs one object's creation protocol at target and replays its
+// history there; on success the object's placement (registry, stubs, the
+// export record) is remapped.
+func (fa *netFaults) reexport(exp *netExport, tp *netPeer, target exec.NodeID, gen int64) bool {
+	tpf := fa.seqSource(target)
+	ctlArgs := append([]any{exp.class.Name(), exp.name}, exp.ctorArgs...)
+	if _, _, err := fa.ctlCall(tp, tpf, 0, rmi.CtlExportNew, ctlArgs); err != nil {
+		if isExecuted(err) {
+			// The node answered but refused — it does not host the class, or
+			// the name is taken: nowhere to rebuild this object.
+			fa.recordErr(&NoFailoverError{Object: exp.name, Class: exp.class.Name(), Node: exp.node, Err: err})
+			fa.markDead(exp)
+			return true // other exports may still recover
+		}
+		return false
+	}
+	stub, err := tp.client.Lookup(exp.name)
+	if err != nil {
+		return false
+	}
+	fa.m.remap(exp.ref, stub, target)
+	fa.mu.Lock()
+	exp.node = target
+	history := append([]histEntry(nil), exp.history...)
+	fa.mu.Unlock()
+	fa.failovers.Add(1)
+	for _, h := range history {
+		if fa.stale(gen) {
+			return false
+		}
+		type out struct{ err error }
+		ch := make(chan out, 1)
+		tpf.sendMu.Lock()
+		fa.mu.Lock()
+		tpf.nextSeq++
+		seq := tpf.nextSeq
+		fa.mu.Unlock()
+		stub.InvokeSeq(h.method, seq, func(_ []any, _ time.Duration, err error) { ch <- out{err} }, h.args...)
+		tpf.sendMu.Unlock()
+		if o := <-ch; o.err != nil {
+			if isExecuted(o.err) {
+				// The original application succeeded, the reconstruction did
+				// not: the rebuilt state is incomplete — surface it.
+				fa.recordErr(fmt.Errorf("par: netrmi history replay of %s.%s at node %d: %w", exp.name, h.method, target, o.err))
+				continue
+			}
+			return false
+		}
+		fa.replays.Add(1)
+	}
+	return true
+}
+
+// seqSource returns the peerFault whose sequence counter tags calls to
+// node's session.
+func (fa *netFaults) seqSource(node exec.NodeID) *peerFault {
+	fa.mu.Lock()
+	defer fa.mu.Unlock()
+	return fa.peerLocked(node)
+}
+
+// ctlCall runs one session-tracked control call synchronously; seq
+// assignment and post share one sendMu section, keeping wire order equal to
+// sequence order. A non-zero seq is reused verbatim — an export retried
+// across a recovery must replay the SAME sequence number, so a first
+// attempt that was applied before its acknowledgement was lost dedupes
+// instead of failing with a duplicate binding. The seq used is returned.
+func (fa *netFaults) ctlCall(p *netPeer, pf *peerFault, seq uint64, verb string, args []any) (uint64, []any, error) {
+	type out struct {
+		res []any
+		err error
+	}
+	ch := make(chan out, 1)
+	pf.sendMu.Lock()
+	if seq == 0 {
+		fa.mu.Lock()
+		pf.nextSeq++
+		seq = pf.nextSeq
+		fa.mu.Unlock()
+	}
+	p.ctl.InvokeSeq(verb, seq, func(res []any, _ time.Duration, err error) {
+		ch <- out{res, err}
+	}, args...)
+	pf.sendMu.Unlock()
+	o := <-ch
+	return seq, o.res, o.err
+}
+
+// exportNew is the fault-mode creation protocol: the control call is
+// session-tracked and retried through recovery, so a node crash mid-export
+// — the driver placing objects while the chaos harness kills the node — is
+// survived like any other failure. The retry reuses its sequence number:
+// an export applied just before the connection died dedupes on replay.
+func (fa *netFaults) exportNew(node exec.NodeID, name string, ctlArgs []any) (*rmi.Stub, error) {
+	var seq uint64
+	var seqEpoch int64
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		p, err := fa.m.peer(node)
+		if err != nil {
+			// No established connection to recover: the node may be mid
+			// restart — brief grace, then retry the dial.
+			lastErr = err
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		pf := fa.seqSource(node)
+		// Seq reuse is a same-incarnation contract: against a fresh epoch
+		// there is nothing to dedupe (the first attempt's application died
+		// with the node), and the recovery's own reincarnation calls have
+		// already advanced the new session past our number — reusing it
+		// would dedupe into a no-op and leave the name unbound.
+		if ep := p.client.Epoch(); ep != seqEpoch {
+			seq, seqEpoch = 0, ep
+		}
+		seq, _, err = fa.ctlCall(p, pf, seq, rmi.CtlExportNew, ctlArgs)
+		if err == nil {
+			stub, lerr := p.client.Lookup(name)
+			if lerr == nil {
+				return stub, nil
+			}
+			err = lerr
+		}
+		if isExecuted(err) || errors.Is(err, rmi.ErrStaleSession) {
+			return nil, err // the node answered and refused: not a transport fault
+		}
+		lastErr = err
+		if !fa.awaitRecovery(node) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// awaitRecovery kicks off (if needed) and waits out node's recovery,
+// reporting whether the peer came back healthy.
+func (fa *netFaults) awaitRecovery(node exec.NodeID) bool {
+	fa.mu.Lock()
+	pf := fa.peerLocked(node)
+	if pf.state == pfHealthy {
+		pf.state = pfRecovering
+		go fa.recover(pf, fa.gen)
+	}
+	for pf.state == pfRecovering {
+		fa.cond.Wait()
+	}
+	healthy := pf.state == pfHealthy
+	fa.mu.Unlock()
+	return healthy
+}
+
+// markDead flags one export as unrecoverable: submissions against it fail
+// immediately.
+func (fa *netFaults) markDead(exp *netExport) {
+	fa.mu.Lock()
+	exp.dead = true
+	fa.cond.Broadcast()
+	fa.mu.Unlock()
+}
+
+// failPeer is the end of the reconnect budget: fail the journal over to a
+// surviving node, or — NoFailover, or no survivor — drop the peer.
+func (fa *netFaults) failPeer(pf *peerFault, gen int64) {
+	if fa.stale(gen) {
+		fa.abandon(pf)
+		return
+	}
+	if !fa.policy.NoFailover {
+		if target, ok := fa.pickTarget(pf); ok {
+			if fa.reincarnate(pf, gen, target) && fa.redirectJournal(pf, gen, target) {
+				fa.droppedPeers.Add(1) // the peer itself stays lost
+				return
+			}
+			if fa.stale(gen) {
+				fa.abandon(pf)
+				return
+			}
+			fa.dropPeer(pf, gen, fmt.Errorf("par: netrmi failover of node %d to node %d failed", pf.node, target))
+			return
+		}
+		// No survivor can host the lost objects: typed, Join-visible.
+		var terminal error
+		if exps := fa.exportsOn(pf.node); len(exps) > 0 {
+			terminal = &NoFailoverError{
+				Object: exps[0].name, Class: exps[0].class.Name(), Node: pf.node,
+				Err: errPeerLost,
+			}
+		}
+		fa.dropPeer(pf, gen, terminal)
+		return
+	}
+	fa.dropPeer(pf, gen, nil)
+}
+
+// pickTarget selects the lowest live, reachable node other than pf's.
+func (fa *netFaults) pickTarget(pf *peerFault) (exec.NodeID, bool) {
+	ids := fa.m.nodeIDs()
+	for _, n := range ids {
+		if n == pf.node {
+			continue
+		}
+		fa.mu.Lock()
+		dead := fa.peerLocked(n).state == pfDead
+		fa.mu.Unlock()
+		if dead {
+			continue
+		}
+		if _, err := fa.m.peer(n); err != nil {
+			continue
+		}
+		return n, true
+	}
+	return 0, false
+}
+
+// redirectJournal replays the lost peer's journal against the failover
+// target (the objects were just rebuilt there); windowed entries requeue
+// instead when the policy says so. On success the peer is left dead with an
+// empty journal — no survivor work remains.
+func (fa *netFaults) redirectJournal(pf *peerFault, gen int64, target exec.NodeID) bool {
+	tpf := fa.seqSource(target)
+	for {
+		fa.mu.Lock()
+		if gen != fa.gen || fa.closed {
+			fa.mu.Unlock()
+			return false
+		}
+		if len(pf.order) == 0 {
+			pf.state = pfDead
+			fa.cond.Broadcast()
+			fa.mu.Unlock()
+			return true
+		}
+		seq := pf.order[0]
+		call := pf.inflight[seq]
+		fa.mu.Unlock()
+		if fa.policy.RequeueOrphans && call.windowed && call.deliver != nil {
+			fa.mu.Lock()
+			live := pf.inflight[seq] == call
+			if live {
+				fa.dropLocked(pf, seq)
+			}
+			fa.cond.Broadcast()
+			fa.mu.Unlock()
+			if live {
+				fa.deliverOrphan(call, pf.node, errPeerLost)
+			}
+			continue
+		}
+		res, svc, err := fa.replayOnce(call, 0, tpf)
+		if err != nil && !isExecuted(err) && !errors.Is(err, rmi.ErrStaleSession) {
+			return false // the target is dying too; give up on this path
+		}
+		fa.replays.Add(1)
+		fa.settle(pf, call, res, svc, err)
+	}
+}
+
+// dropPeer gives up on a peer: its journal is failed (retryable for
+// windowed packs under RequeueOrphans — the scheduler re-absorbs them), its
+// exports are dead, and the terminal error, if any, waits for Join.
+func (fa *netFaults) dropPeer(pf *peerFault, gen int64, terminal error) {
+	fa.mu.Lock()
+	if gen != fa.gen || fa.closed {
+		fa.mu.Unlock()
+		fa.abandon(pf)
+		return
+	}
+	pf.state = pfDead
+	calls := fa.drainLocked(pf)
+	for _, exp := range fa.exports {
+		if exp.node == pf.node {
+			exp.dead = true
+		}
+	}
+	if terminal != nil {
+		fa.errs = append(fa.errs, terminal)
+	}
+	fa.droppedPeers.Add(1)
+	fa.cond.Broadcast()
+	fa.mu.Unlock()
+	cause := terminal
+	if cause == nil {
+		cause = errPeerLost
+	}
+	for _, call := range calls {
+		fa.deliverOrphan(call, pf.node, cause)
+	}
+}
+
+// drainLocked empties pf's journal, returning the calls in submission
+// order. fa.mu held.
+func (fa *netFaults) drainLocked(pf *peerFault) []*netCall {
+	calls := make([]*netCall, 0, len(pf.order))
+	for _, seq := range pf.order {
+		if c := pf.inflight[seq]; c != nil {
+			calls = append(calls, c)
+		}
+	}
+	pf.inflight = make(map[uint64]*netCall)
+	pf.order = nil
+	return calls
+}
+
+// abandon drains a peer whose generation ended (Reset/Close raced the
+// recovery): entries are failed with the reset marker and nothing is
+// replayed — resurrecting pre-reset exports is exactly the bug the guard
+// exists for.
+func (fa *netFaults) abandon(pf *peerFault) {
+	fa.mu.Lock()
+	pf.state = pfDead
+	calls := fa.drainLocked(pf)
+	fa.cond.Broadcast()
+	fa.mu.Unlock()
+	for _, call := range calls {
+		if call.deliver != nil {
+			call.deliver(nil, 0, &FaultError{Object: call.ref.Name, Method: call.method, Node: pf.node, Err: errMWReset})
+		}
+	}
+}
+
+// --- Lifecycle ---------------------------------------------------------------
+
+// invalidate ends the current generation: active recoveries abandon at
+// their next step, journals drain with cause, and the export records are
+// forgotten. Reset and Close both route through here.
+func (fa *netFaults) invalidate(cause error) {
+	fa.mu.Lock()
+	fa.gen++
+	if errors.Is(cause, rmi.ErrClosed) {
+		fa.closed = true
+	}
+	peers := fa.peers
+	fa.peers = make(map[exec.NodeID]*peerFault)
+	fa.exports = make(map[*NetRef]*netExport)
+	var calls []*netCall
+	for _, pf := range peers {
+		calls = append(calls, fa.drainLocked(pf)...)
+		pf.state = pfDead
+	}
+	fa.cond.Broadcast()
+	fa.mu.Unlock()
+	for _, call := range calls {
+		if call.deliver != nil {
+			call.deliver(nil, 0, cause)
+		}
+	}
+}
+
+// join blocks until every peer is quiescent — no recovery running, no
+// journaled call unsettled — and returns the terminal fault errors.
+func (fa *netFaults) join() error {
+	fa.mu.Lock()
+	for fa.busyLocked() {
+		fa.cond.Wait()
+	}
+	errs := fa.errs
+	fa.errs = nil
+	fa.mu.Unlock()
+	return errors.Join(errs...)
+}
+
+func (fa *netFaults) busyLocked() bool {
+	for _, pf := range fa.peers {
+		if pf.state == pfRecovering || len(pf.inflight) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (fa *netFaults) quiet() bool {
+	fa.mu.Lock()
+	defer fa.mu.Unlock()
+	return !fa.busyLocked()
+}

@@ -3,7 +3,9 @@ package par
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"time"
 
 	"aspectpar/internal/exec"
 	"aspectpar/internal/rmi"
@@ -44,6 +46,11 @@ type NetRMI struct {
 	peers  map[exec.NodeID]*netPeer
 	stubs  map[any]*rmi.Stub
 	closed bool
+
+	// faults is the optional fault-tolerance subsystem (netfault.go): nil —
+	// the zero FaultPolicy — keeps every dispatch path bit-identical to the
+	// fail-fast behaviour.
+	faults *netFaults
 }
 
 // netPeer is one connected worker node: the pipelined client plus its
@@ -95,6 +102,45 @@ func NetAddressTable(addrs ...string) map[exec.NodeID]string {
 // Nodes returns the configured node IDs (the placement universe).
 func (m *NetRMI) Nodes() int { return len(m.addrs) }
 
+// nodeIDs returns the configured node IDs in ascending order — the failover
+// target scan order.
+func (m *NetRMI) nodeIDs() []exec.NodeID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]exec.NodeID, 0, len(m.addrs))
+	for n := range m.addrs {
+		ids = append(ids, n)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// SetFaultPolicy switches on the fault-tolerance subsystem (see FaultPolicy
+// and netfault.go): journaled calls, reconnect/replay with session-epoch
+// handshakes, and placement failover. It must be called before the first
+// placement or call; enabling it on a middleware that has already dialled
+// peers panics, because those sessions were established untracked.
+func (m *NetRMI) SetFaultPolicy(p FaultPolicy) {
+	if !p.Enabled {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.peers) > 0 {
+		panic("par: SetFaultPolicy after peers were dialled")
+	}
+	m.faults = newNetFaults(m, p)
+}
+
+// FaultStats reports what the fault-tolerance subsystem did (zero unless a
+// FaultPolicy was enabled).
+func (m *NetRMI) FaultStats() FaultStats {
+	if m.faults == nil {
+		return FaultStats{}
+	}
+	return m.faults.stats()
+}
+
 // MiddlewareName implements Middleware.
 func (m *NetRMI) MiddlewareName() string { return "netrmi" }
 
@@ -119,6 +165,17 @@ func (m *NetRMI) peer(node exec.NodeID) (*netPeer, error) {
 	client, err := rmi.Dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("par: netrmi node %d: %w", node, err)
+	}
+	if fa := m.faults; fa != nil {
+		// Fault mode: the session identity survives reconnects (it is the
+		// server's dedupe key), the reconnect schedule comes from the policy,
+		// and the epoch handshake pins this session to the node incarnation.
+		client.SetSession(fa.sessionID(node))
+		client.SetReconnectPolicy(fa.policy.Reconnect)
+		if _, err := client.Handshake(); err != nil {
+			client.Close()
+			return nil, fmt.Errorf("par: netrmi node %d handshake: %w", node, err)
+		}
 	}
 	ctl, err := client.Lookup(rmi.ControlName)
 	if err != nil {
@@ -154,6 +211,28 @@ func (m *NetRMI) stubOf(method string, obj any) (*rmi.Stub, error) {
 	return stub, nil
 }
 
+// clientOf returns node's established client, or nil — the recovery loop's
+// reconnect handle.
+func (m *NetRMI) clientOf(node exec.NodeID) *rmi.Client {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p := m.peers[node]; p != nil {
+		return p.client
+	}
+	return nil
+}
+
+// remap points an exported reference at a fresh incarnation: the stub (a
+// new node, or the same node re-looked-up) and the registry placement, so
+// Distribution.NodeOf — and the scheduler's placement-aware stealing it
+// feeds — tracks the failover.
+func (m *NetRMI) remap(ref *NetRef, stub *rmi.Stub, node exec.NodeID) {
+	m.mu.Lock()
+	m.stubs[ref] = stub
+	m.mu.Unlock()
+	m.reg.setNode(ref, node)
+}
+
 // ExportNew implements Middleware: it runs the creation protocol against the
 // node's daemon — ship class name, object name and constructor arguments;
 // the node's own domain executes the woven constructor — and returns a
@@ -165,17 +244,28 @@ func (m *NetRMI) ExportNew(ctx exec.Context, name string, node exec.NodeID, clas
 	for _, sample := range class.WireSamples() {
 		rmi.RegisterType(sample)
 	}
-	p, err := m.peer(node)
-	if err != nil {
-		return nil, err
-	}
 	ctlArgs := append([]any{class.Name(), name}, args...)
-	if _, err := p.ctl.Invoke(rmi.CtlExportNew, ctlArgs...); err != nil {
-		return nil, fmt.Errorf("par: netrmi export %s at node %d: %w", name, node, err)
-	}
-	stub, err := p.client.Lookup(name)
-	if err != nil {
-		return nil, fmt.Errorf("par: netrmi export %s at node %d: %w", name, node, err)
+	var stub *rmi.Stub
+	if fa := m.faults; fa != nil {
+		// Fault mode: the creation protocol is session-tracked and retried
+		// through recovery, surviving a node crash mid-placement.
+		var err error
+		stub, err = fa.exportNew(node, name, ctlArgs)
+		if err != nil {
+			return nil, fmt.Errorf("par: netrmi export %s at node %d: %w", name, node, err)
+		}
+	} else {
+		p, err := m.peer(node)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.ctl.Invoke(rmi.CtlExportNew, ctlArgs...); err != nil {
+			return nil, fmt.Errorf("par: netrmi export %s at node %d: %w", name, node, err)
+		}
+		stub, err = p.client.Lookup(name)
+		if err != nil {
+			return nil, fmt.Errorf("par: netrmi export %s at node %d: %w", name, node, err)
+		}
 	}
 	m.stats.count(2, int64(m.sizer.Size(ctlArgs)+replyFloor))
 	ref := &NetRef{Name: name, Node: node}
@@ -185,6 +275,11 @@ func (m *NetRMI) ExportNew(ctx exec.Context, name string, node exec.NodeID, clas
 	m.mu.Lock()
 	m.stubs[ref] = stub
 	m.mu.Unlock()
+	if fa := m.faults; fa != nil {
+		// Record the re-creation recipe: constructor arguments now, applied
+		// calls as they settle — what reincarnation and failover replay.
+		fa.trackExport(ref, class, args)
+	}
 	return ref, nil
 }
 
@@ -192,8 +287,13 @@ func (m *NetRMI) ExportNew(ctx exec.Context, name string, node exec.NodeID, clas
 // Send returns once the request is written (bounded by the client's
 // flow-control window) and remote failures surface collectively in Join —
 // the semantics the MPP twin gives its one-way methods. Value-returning
-// calls are synchronous round trips.
+// calls are synchronous round trips. With a fault policy enabled, every
+// call is journaled and a transport failure blocks the synchronous caller
+// through recovery instead of failing it.
 func (m *NetRMI) Invoke(ctx exec.Context, obj any, method string, args []any, void bool) ([]any, error) {
+	if fa := m.faults; fa != nil {
+		return fa.invokeSync(obj, method, args, void)
+	}
 	stub, err := m.stubOf(method, obj)
 	if err != nil {
 		return nil, err
@@ -220,7 +320,16 @@ func (m *NetRMI) Invoke(ctx exec.Context, obj any, method string, args []any, vo
 // the connection's reader goroutine and handed to the worker's buffered
 // done channel — no future and no per-call goroutine, which used to
 // dominate the windowed hot path's allocations.
+//
+// Completions are stamped with the tuning signals the PR-4 controllers
+// consume: the node-side service time travels back in the response, and the
+// client-side round trip is measured here — so window-depth and pack-size
+// autotuning engage over real TCP instead of holding their fixed knobs.
 func (m *NetRMI) InvokeAsync(ctx exec.Context, obj any, method string, args []any, void bool, done exec.Chan) {
+	if fa := m.faults; fa != nil {
+		fa.invokeAsync(ctx, obj, method, args, void, done)
+		return
+	}
 	stub, err := m.stubOf(method, obj)
 	if err != nil {
 		done.Send(ctx, &Completion{Err: err})
@@ -236,14 +345,36 @@ func (m *NetRMI) InvokeAsync(ctx exec.Context, obj any, method string, args []an
 		return
 	}
 	m.stats.count(1, int64(reqSize))
-	stub.InvokeCB(method, func(res []any, err error) {
+	elems := payloadElems(args)
+	issued := time.Now()
+	stub.InvokeCB(method, func(res []any, service time.Duration, err error) {
 		// This callback runs on the connection's single reader goroutine —
 		// every later pending response waits behind it — so the reply bytes
 		// are approximated (payload elements × width + floor) instead of
 		// gob re-encoding the results just for the traffic counter.
 		m.stats.count(1, int64(approxReplySize(res)))
-		done.Send(ctx, &Completion{Res: res, Err: err})
+		done.Send(ctx, stampCompletion(res, err, issued, service, elems))
 	}, args...)
+}
+
+// stampCompletion builds a windowed completion carrying real-transport
+// tuning signals. The sim middlewares stamp issue/arrival/service instants
+// from the virtual clock; here only differences are measurable, so the
+// completion encodes them relative to zero: issuedAt 0 and arrival
+// (rtt−service)/2 make the window controller's rtt0 = 2·(arrival−issuedAt)
+// come out as the measured non-compute round trip. A missing service stamp
+// (transport failure) leaves the completion signal-free, which the
+// controllers treat as "hold the fixed knob".
+func stampCompletion(res []any, err error, issued time.Time, service time.Duration, elems int) *Completion {
+	c := &Completion{Res: res, Err: err}
+	if service > 0 {
+		if half := (time.Since(issued) - service) / 2; half > 0 {
+			c.arrival = half
+		}
+		c.service = service
+		c.elems = elems
+	}
+	return c
 }
 
 // approxReplySize estimates a reply's wire size without re-encoding it:
@@ -262,7 +393,15 @@ func (m *NetRMI) LocalityCosted() bool { return true }
 // Reset asks every configured node to unbind its placed objects (connecting
 // as needed), so a long-running daemon can serve successive runs with fresh
 // "PS<n>" names. Drivers targeting shared daemons call it before placing.
+// With a fault policy enabled, Reset first invalidates the journal
+// generation — an in-flight recovery abandons instead of resurrecting
+// pre-reset exports — and afterwards re-handshakes each session, since the
+// node's reset rotates its epoch (the server-side half of the same guard).
 func (m *NetRMI) Reset() error {
+	fa := m.faults
+	if fa != nil {
+		fa.invalidate(&FaultError{Err: errMWReset})
+	}
 	var errs []error
 	for node := range m.addrs {
 		p, err := m.peer(node)
@@ -272,6 +411,12 @@ func (m *NetRMI) Reset() error {
 		}
 		if _, err := p.ctl.Invoke(rmi.CtlReset); err != nil {
 			errs = append(errs, err)
+			continue
+		}
+		if fa != nil {
+			if _, err := p.client.Handshake(); err != nil {
+				errs = append(errs, err)
+			}
 		}
 	}
 	return errors.Join(errs...)
@@ -279,8 +424,15 @@ func (m *NetRMI) Reset() error {
 
 // Join implements Joiner: it drains every connection's one-way window and
 // returns the gathered remote failures, so Stack.Join observes the void
-// traffic this middleware still has in flight.
+// traffic this middleware still has in flight. With a fault policy enabled
+// it instead waits for the journal to settle — every tracked call
+// acknowledged, replayed, failed over or requeued; recoveries finished —
+// and returns the terminal fault errors (a NoFailoverError when an object
+// could not be re-homed anywhere).
 func (m *NetRMI) Join(ctx exec.Context) error {
+	if fa := m.faults; fa != nil {
+		return fa.join()
+	}
 	m.mu.Lock()
 	peers := make([]*netPeer, 0, len(m.peers))
 	for _, p := range m.peers {
@@ -298,6 +450,9 @@ func (m *NetRMI) Join(ctx exec.Context) error {
 
 // Quiet implements Joiner.
 func (m *NetRMI) Quiet() bool {
+	if fa := m.faults; fa != nil {
+		return fa.quiet()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, p := range m.peers {
@@ -322,6 +477,9 @@ func (m *NetRMI) Close() error {
 		peers = append(peers, p)
 	}
 	m.mu.Unlock()
+	if fa := m.faults; fa != nil {
+		fa.invalidate(rmi.ErrClosed)
+	}
 	var errs []error
 	for _, p := range peers {
 		if err := p.client.Close(); err != nil {

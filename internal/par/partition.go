@@ -464,23 +464,29 @@ func (f *Farm) issuePack(ctx exec.Context, w any, args []any, done exec.Chan) bo
 }
 
 // reclaimOne blocks for the next completion of this worker's window —
-// completion-ordered reclamation — settles its caller-side reply costs and
-// records its error, if any. With autotuning on it also folds the
-// completion's timing signals into the tuner here — not in the window
-// controller — so the pack-size controller keeps its cost profile even
-// when the window controller is disabled (AutotuneConfig.NoWindow). It
-// returns the completion so windowed loops can feed their depth
-// controller.
+// completion-ordered reclamation — and settles it. It returns the
+// completion so windowed loops can feed their depth controller.
 func (f *Farm) reclaimOne(ctx exec.Context, done exec.Chan) *Completion {
 	v, _ := done.Recv(ctx)
 	c := v.(*Completion)
+	f.settleCompletion(ctx, c)
+	return c
+}
+
+// settleCompletion settles one reclaimed completion's caller-side reply
+// costs and records its error, if any. With autotuning on it also folds the
+// completion's timing signals into the tuner here — not in the window
+// controller — so the pack-size controller keeps its cost profile even
+// when the window controller is disabled (AutotuneConfig.NoWindow). Both
+// self-scheduling loops route every non-orphan completion through it, so
+// the reclamation protocol cannot drift between them.
+func (f *Farm) settleCompletion(ctx exec.Context, c *Completion) {
 	if _, err := c.Reclaim(ctx); err != nil {
 		f.fail(err)
 	}
 	if f.tuner != nil && c.service > 0 {
 		f.tuner.observe(c.service, c.elems)
 	}
-	return c
 }
 
 // workerWindow wires one windowed worker loop's depth control: with the
@@ -646,13 +652,38 @@ func (f *Farm) stealWorkerSync(child exec.Context, sched *stealScheduler, i int,
 // obtainable work reclaims its own window first (those completions free
 // slots AND drive the round's termination counter) before falling back to
 // the idle yield/backoff protocol.
+//
+// Over a fault-tolerant middleware a completion can carry a retryable
+// FaultError: the pack was orphaned — its replica's session was lost before
+// the call executed anywhere — and the scheduler re-absorbs it (the pack
+// goes back into the deques, where a surviving replica's worker obtains it;
+// work conservation holds because the pack was never finished). A worker
+// whose own replica keeps orphaning packs goes dead: it drains its window,
+// stops executing, and leaves its queued packs to the thieves. If every
+// worker dies with packs outstanding, the round aborts with an error
+// instead of spinning.
 func (f *Farm) stealWorkerWindowed(child exec.Context, sched *stealScheduler, i int, w any, win int) {
 	wc, depth, chanCap := f.workerWindow(sched, win)
 	done := child.NewChan(chanCap)
 	inflight := 0
+	orphans := 0 // consecutive orphaned packs from this worker's replica
+	const maxOrphans = 3
 	reclaim := func() {
-		c := f.reclaimOne(child, done)
+		v, _ := done.Recv(child)
+		c := v.(*Completion)
 		inflight--
+		var fe *FaultError
+		if c.Err != nil && errors.As(c.Err, &fe) && fe.Retryable && fe.Args != nil {
+			// Orphaned pack: hand it back instead of failing the run. The
+			// scheduler requeues it on another deque; remaining is untouched
+			// (the pack never finished), so Executed == Seeded + Splits
+			// survives the crash.
+			sched.requeueOrphan(i, fe.Args)
+			orphans++
+			return
+		}
+		orphans = 0
+		f.settleCompletion(child, c)
 		sched.finish()
 		if wc != nil {
 			wc.observe(c)
@@ -685,6 +716,19 @@ func (f *Farm) stealWorkerWindowed(child exec.Context, sched *stealScheduler, i 
 	}
 	defer setHungry(false)
 	for {
+		if orphans >= maxOrphans {
+			// This worker's replica is unrecoverable: drain the window
+			// (requeueing any further orphans) and stop executing. The
+			// queued packs stay stealable; if no worker survives with work
+			// outstanding, the round aborts.
+			for inflight > 0 {
+				reclaim()
+			}
+			if sched.noteDeadWorker() {
+				f.fail(fmt.Errorf("par: stealing farm lost every replica with %d packs outstanding", sched.remaining.Load()))
+			}
+			return
+		}
 		pk, ok, deferred := sched.takeWindowed(i, inflight > 0)
 		if deferred {
 			// The last local pack stays queued — stealable — while the pipe

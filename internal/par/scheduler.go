@@ -173,6 +173,14 @@ type stealScheduler struct {
 	// hungry counts workers currently out of local work — the steal-demand
 	// signal that arms owner-side splitting.
 	hungry atomic.Int64
+	// aborted ends the round without work conservation: every replica is
+	// lost (fault-tolerant runs), so the remaining packs can never execute
+	// and the idle workers must stop waiting for them. The recorded farm
+	// error is the round's outcome.
+	aborted atomic.Bool
+	// deadWorkers counts workers that stopped executing because their
+	// replica is unrecoverable; the last one aborts the round.
+	deadWorkers atomic.Int64
 
 	seeded       atomic.Int64
 	executed     atomic.Int64
@@ -246,7 +254,7 @@ func (s *stealScheduler) next(ctx exec.Context, i int) (stealPack, bool) {
 		if pk, ok := s.trySteal(ctx, i); ok {
 			return pk, true
 		}
-		if s.remaining.Load() == 0 {
+		if s.drained() {
 			return stealPack{}, false
 		}
 		// Idle protocol: yield first so a busy victim can run and expose
@@ -257,7 +265,7 @@ func (s *stealScheduler) next(ctx exec.Context, i int) (stealPack, bool) {
 		if pk, ok := s.trySteal(ctx, i); ok {
 			return pk, true
 		}
-		if s.remaining.Load() == 0 {
+		if s.drained() {
 			return stealPack{}, false
 		}
 		ctx.Sleep(backoff)
@@ -488,8 +496,31 @@ func (s *stealScheduler) chunk(d *stealDeque, pk stealPack) stealPack {
 }
 
 // drained reports whether every pack of the round has finished — the
-// workers' termination signal.
-func (s *stealScheduler) drained() bool { return s.remaining.Load() == 0 }
+// workers' termination signal — or the round was aborted (all replicas
+// lost: the outstanding packs can never run).
+func (s *stealScheduler) drained() bool { return s.remaining.Load() == 0 || s.aborted.Load() }
+
+// requeueOrphan returns an orphaned pack — issued on a replica that was
+// lost before the call executed anywhere — to the round. It goes onto
+// another worker's deque, where the normal take/steal protocol re-absorbs
+// it; remaining was never decremented, so work conservation holds: the pack
+// executes exactly once, on whichever surviving replica obtains it.
+func (s *stealScheduler) requeueOrphan(from int, args []any) {
+	n := len(s.deques)
+	s.deques[(from+1)%n].pushBack(stealPack{args: args})
+}
+
+// noteDeadWorker records that worker's replica is unrecoverable and the
+// worker stops executing. When every worker is dead while packs remain, the
+// round is aborted — the packs have no surviving replica to run on — and
+// noteDeadWorker reports true so the last worker records the failure.
+func (s *stealScheduler) noteDeadWorker() bool {
+	if s.deadWorkers.Add(1) == int64(len(s.deques)) && s.remaining.Load() > 0 {
+		s.aborted.Store(true)
+		return true
+	}
+	return false
+}
 
 // finish records the completion of one pack.
 func (s *stealScheduler) finish() {

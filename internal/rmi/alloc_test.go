@@ -75,7 +75,7 @@ func TestInvokeCBAllocsPerCall(t *testing.T) {
 	payload := make([]int32, 512)
 	ready := make(chan struct{}, 1)
 	call := func() {
-		stub.InvokeCB("M", func([]any, error) { ready <- struct{}{} }, payload)
+		stub.InvokeCB("M", func([]any, time.Duration, error) { ready <- struct{}{} }, payload)
 		<-ready
 	}
 	call() // warm the path
@@ -116,7 +116,7 @@ func TestInvokeCBDeliversExactlyOnce(t *testing.T) {
 			srv.Abort() // crash the peer mid-stream
 		}
 		calls.Add(1)
-		stub.InvokeCB("M", func([]any, error) { deliveries.Add(1) }, payload)
+		stub.InvokeCB("M", func([]any, time.Duration, error) { deliveries.Add(1) }, payload)
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for deliveries.Load() < calls.Load() && time.Now().Before(deadline) {

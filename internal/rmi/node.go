@@ -118,6 +118,24 @@ func (n *Node) Close() { n.srv.Close() }
 // tests simulate (see Server.Abort).
 func (n *Node) Abort() { n.srv.Abort() }
 
+// DropConns severs every live connection while the node keeps running — a
+// transport blip rather than a crash (see Server.DropConns). Clients that
+// Reconnect find the same session epoch and their placed objects intact.
+func (n *Node) DropConns() { n.srv.DropConns() }
+
+// Epoch returns the node's session epoch: the identity of this incarnation.
+// A restarted node (even on the same address) has a different epoch, which
+// is how a reconnecting client learns its placed objects are gone.
+func (n *Node) Epoch() int64 { return n.srv.Epoch() }
+
+// Requests returns the number of requests this node has served — the
+// fault-injection harness's kill trigger.
+func (n *Node) Requests() int64 { return n.srv.Requests() }
+
+// Names lists the node's bound names, including the control servant —
+// deployment diagnostics and the reset-race regression tests.
+func (n *Node) Names() []string { return n.srv.Names() }
+
 // control serves the node's creation protocol.
 func (n *Node) control(method string, args []any) ([]any, error) {
 	switch method {
@@ -210,8 +228,12 @@ func (n *Node) construct(servant Servant, class string, ctorArgs []any) (obj any
 	return servant.New(n.ctx, ctorArgs)
 }
 
-// reset unbinds every placed object.
+// reset unbinds every placed object. It first rotates the session epoch, so
+// a fault-tolerant client's replay racing the reset — a recovery goroutine
+// re-exporting pre-reset objects while the driver starts a fresh run — is
+// rejected as stale instead of resurrecting bindings the reset just removed.
 func (n *Node) reset() {
+	n.srv.RotateEpoch()
 	n.mu.Lock()
 	names := make([]string, 0, len(n.objects))
 	for name := range n.objects {

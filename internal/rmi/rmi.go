@@ -78,27 +78,61 @@ type request struct {
 	Args   []any
 	// OneWay asks the server to acknowledge without shipping results.
 	OneWay bool
+	// Hello marks a session handshake probe: the server answers with its
+	// session epoch and dispatches nothing.
+	Hello bool
+	// Client, Seq and Epoch tag a session-tracked request (fault-tolerant
+	// callers): Client identifies the logical sender across reconnects, Seq
+	// is its monotone per-connection-session sequence number (the server
+	// deduplicates replays at most once), and Epoch pins the request to the
+	// server incarnation the client handshook with — a restarted (or reset)
+	// server rejects stale replays instead of applying them out of context.
+	// All three are zero on untracked traffic, which skips every check.
+	Client string
+	Seq    uint64
+	Epoch  int64
 }
 
 type response struct {
 	Results []any
 	Err     string
 	Bound   bool // lookup replies
+	// Epoch is the server's session epoch, stamped on handshake replies.
+	Epoch int64
+	// Dup marks a deduplicated replay whose cached response has been pruned:
+	// the call was applied exactly once; its results are gone.
+	Dup bool
+	// Stale marks a rejected session-tracked request whose epoch no longer
+	// matches the server's (restarted node, or a reset rotated the epoch).
+	Stale bool
+	// ServiceNs is the server-side dispatch time of a two-way call — the
+	// service-time signal the client's tuning controllers consume.
+	ServiceNs int64
 }
 
 // Server hosts exported objects and the name server.
 type Server struct {
-	mu      sync.Mutex
-	ln      net.Listener
-	objects map[string]DispatchFunc
-	conns   map[net.Conn]struct{}
-	closed  bool
-	wg      sync.WaitGroup
+	mu       sync.Mutex
+	ln       net.Listener
+	objects  map[string]DispatchFunc
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+	epoch    atomic.Int64
+	requests atomic.Int64
+	sessions map[string]*clientSession
 }
 
-// NewServer returns a server with an empty registry.
+// NewServer returns a server with an empty registry and a fresh session
+// epoch (see Epoch).
 func NewServer() *Server {
-	return &Server{objects: make(map[string]DispatchFunc), conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		objects:  make(map[string]DispatchFunc),
+		conns:    make(map[net.Conn]struct{}),
+		sessions: make(map[string]*clientSession),
+	}
+	s.epoch.Store(newEpoch())
+	return s
 }
 
 // Export binds an object under a name (the registry's bind operation).
@@ -194,22 +228,56 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 func (s *Server) handle(req *request) *response {
+	s.requests.Add(1)
+	if req.Hello { // session handshake: report the epoch, dispatch nothing
+		return &response{Bound: true, Epoch: s.epoch.Load()}
+	}
 	s.mu.Lock()
 	dispatch, ok := s.objects[req.Object]
 	s.mu.Unlock()
 	if req.Method == "" { // lookup probe
 		return &response{Bound: ok}
 	}
+	var finish func(*response)
+	if req.Client != "" && req.Seq > 0 {
+		// Session guard: a request pinned to another incarnation's epoch is a
+		// stale replay — a restarted node (or a rotated epoch after a reset)
+		// must reject it rather than apply it out of context.
+		if req.Epoch != 0 && req.Epoch != s.epoch.Load() {
+			return &response{Stale: true, Err: staleSessionMsg}
+		}
+		// At-most-once dedupe: a replayed request the server already applied
+		// — or is applying right now on another connection — is answered
+		// without executing again (see beginTracked).
+		var applied *response
+		if applied, finish = s.beginTracked(req.Client, req.Seq); applied != nil {
+			return applied
+		}
+	}
 	if !ok {
-		return &response{Err: fmt.Sprintf("object %q not bound", req.Object)}
+		resp := &response{Err: fmt.Sprintf("object %q not bound", req.Object)}
+		if finish != nil {
+			finish(resp)
+		}
+		return resp
+	}
+	var start time.Time
+	if !req.OneWay {
+		start = time.Now()
 	}
 	results, err := safeDispatch(dispatch, req.Method, req.Args)
 	resp := &response{Results: results, Bound: true}
+	if !req.OneWay {
+		resp.ServiceNs = time.Since(start).Nanoseconds()
+	}
 	if req.OneWay {
 		resp.Results = nil // bare acknowledgement
 	}
 	if err != nil {
 		resp.Err = err.Error()
+	}
+	if finish != nil {
+		finish(resp)
 	}
 	return resp
 }
@@ -345,7 +413,7 @@ var requestPool = sync.Pool{New: func() any { return new(request) }}
 // callers, so many invocations can overlap on one TCP connection (like a
 // single RMI transport channel with HTTP/1.1-style pipelining).
 type Client struct {
-	conn net.Conn
+	addr string
 
 	// sendMu serialises encoder writes; the pending append happens under it
 	// too, so queue order always equals wire order.
@@ -355,12 +423,19 @@ type Client struct {
 
 	mu            sync.Mutex
 	cond          *sync.Cond
+	conn          net.Conn
+	gen           int64 // connection generation, bumped by Reconnect
 	pending       []*pendingReply
-	transport     error // sticky first transport failure
+	transport     error // sticky first transport failure (per generation)
 	closed        bool
+	userClosed    bool // Close was called: Reconnect must refuse
 	windowSize    int
 	inFlightSends int     // unacknowledged one-way sends
 	sendErrs      []error // remote failures of one-way sends, drained by Flush
+
+	policy  ReconnectPolicy // Reconnect's backoff schedule
+	session string          // session tag for tracked requests ("" = untracked)
+	epoch   atomic.Int64    // last handshaken server epoch (the request stamp)
 }
 
 // Dial connects to an RMI server with the default send window.
@@ -370,9 +445,9 @@ func Dial(addr string) (*Client, error) {
 		return nil, fmt.Errorf("rmi: dial %s: %w", addr, err)
 	}
 	bw := bufio.NewWriter(conn)
-	c := &Client{conn: conn, bw: bw, enc: gob.NewEncoder(bw), windowSize: DefaultSendWindow}
+	c := &Client{addr: addr, conn: conn, bw: bw, enc: gob.NewEncoder(bw), windowSize: DefaultSendWindow}
 	c.cond = sync.NewCond(&c.mu)
-	go c.readLoop(gob.NewDecoder(conn))
+	go c.readLoop(gob.NewDecoder(conn), 0)
 	return c, nil
 }
 
@@ -391,17 +466,25 @@ func (c *Client) SetSendWindow(n int) {
 
 // Close closes the connection. Calls still in flight — including a window of
 // unacknowledged sends — resolve with ErrClosed rather than blocking forever.
+// A closed client stays closed: Reconnect refuses to revive it.
 func (c *Client) Close() error {
-	c.fail(ErrClosed)
-	return c.conn.Close()
+	c.mu.Lock()
+	c.userClosed = true
+	gen := c.gen
+	conn := c.conn
+	c.mu.Unlock()
+	c.fail(gen, ErrClosed)
+	return conn.Close()
 }
 
-// fail records the first transport error, resolves every pending call with
-// it and wakes all blocked senders. Subsequent calls are no-ops: the first
-// failure is the one every caller sees.
-func (c *Client) fail(err error) {
+// fail records the first transport error of connection generation gen,
+// resolves every pending call with it and wakes all blocked senders.
+// Subsequent calls are no-ops — the first failure is the one every caller
+// sees — and a stale generation (a reader outliving a Reconnect) cannot
+// poison the fresh connection.
+func (c *Client) fail(gen int64, err error) {
 	c.mu.Lock()
-	if c.transport != nil {
+	if c.transport != nil || gen != c.gen {
 		c.mu.Unlock()
 		return
 	}
@@ -424,8 +507,11 @@ func (c *Client) fail(err error) {
 
 // readLoop is the client's single response reader: it decodes responses and
 // completes the head of the pending FIFO, acknowledging one-way sends and
-// resolving futures for two-way calls.
-func (c *Client) readLoop(dec *gob.Decoder) {
+// resolving futures for two-way calls. gen pins the loop to its connection
+// generation: after a Reconnect swapped the transport, a lingering old
+// reader must neither consume the new generation's pending entries nor fail
+// the fresh connection.
+func (c *Client) readLoop(dec *gob.Decoder, gen int64) {
 	for {
 		var resp response
 		if err := dec.Decode(&resp); err != nil {
@@ -434,24 +520,33 @@ func (c *Client) readLoop(dec *gob.Decoder) {
 			} else {
 				err = fmt.Errorf("rmi: receive: %w", err)
 			}
-			c.fail(err)
+			c.fail(gen, err)
 			return
 		}
 		c.mu.Lock()
+		if gen != c.gen {
+			c.mu.Unlock()
+			return // stale reader: a Reconnect replaced this connection
+		}
 		if len(c.pending) == 0 {
 			c.mu.Unlock()
-			c.fail(errors.New("rmi: response without matching request"))
+			c.fail(gen, errors.New("rmi: response without matching request"))
 			return
 		}
 		p := c.pending[0]
 		c.pending = c.pending[1:]
 		if p.oneWay {
-			if resp.Err != "" {
-				c.sendErrs = append(c.sendErrs, &RemoteError{Msg: resp.Err})
-			}
 			c.inFlightSends--
 			c.cond.Broadcast()
+			if p.deliver == nil {
+				if resp.Err != "" {
+					c.sendErrs = append(c.sendErrs, &RemoteError{Msg: resp.Err})
+				}
+				c.mu.Unlock()
+				continue
+			}
 			c.mu.Unlock()
+			p.deliver(&resp, nil) // per-call acknowledgement (SendSeq)
 			continue
 		}
 		c.mu.Unlock()
@@ -463,10 +558,15 @@ func (c *Client) readLoop(dec *gob.Decoder) {
 // order between the two. An encode failure poisons the connection: gob
 // streams cannot resynchronise after a partial write. The request frame
 // comes from (and returns to) requestPool: it is fully on the buffered
-// writer when Encode returns, so releasing it here is safe.
-func (c *Client) post(object, method string, args []any, oneWay bool, p *pendingReply) error {
+// writer when Encode returns, so releasing it here is safe. seq > 0 marks a
+// session-tracked request: it ships the client's session tag and epoch stamp
+// alongside, arming the server's dedupe and stale-replay guards.
+func (c *Client) post(object, method string, args []any, oneWay, hello bool, seq uint64, p *pendingReply) error {
 	req := requestPool.Get().(*request)
-	req.Object, req.Method, req.Args, req.OneWay = object, method, args, oneWay
+	req.Object, req.Method, req.Args, req.OneWay, req.Hello = object, method, args, oneWay, hello
+	if seq > 0 && c.session != "" {
+		req.Client, req.Seq, req.Epoch = c.session, seq, c.epoch.Load()
+	}
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
 	c.mu.Lock()
@@ -476,6 +576,7 @@ func (c *Client) post(object, method string, args []any, oneWay bool, p *pending
 		requestPool.Put(req)
 		return err
 	}
+	gen := c.gen
 	c.pending = append(c.pending, p)
 	c.mu.Unlock()
 	err := c.enc.Encode(req)
@@ -485,7 +586,7 @@ func (c *Client) post(object, method string, args []any, oneWay bool, p *pending
 	*req = request{}
 	requestPool.Put(req)
 	if err != nil {
-		c.fail(fmt.Errorf("rmi: send: %w", err))
+		c.fail(gen, fmt.Errorf("rmi: send: %w", err))
 		return fmt.Errorf("rmi: send: %w", err)
 	}
 	return nil
@@ -497,7 +598,7 @@ func (c *Client) post(object, method string, args []any, oneWay bool, p *pending
 func (c *Client) call(object, method string, args []any) *future.Future[*response] {
 	f, resolve := future.New[*response]()
 	p := &pendingReply{deliver: func(r *response, err error) { resolve(r, err) }}
-	if err := c.post(object, method, args, false, p); err != nil {
+	if err := c.post(object, method, args, false, false, 0, p); err != nil {
 		resolve(nil, err)
 	}
 	return f
@@ -587,19 +688,31 @@ func (s *Stub) InvokeAsync(method string, args ...any) *future.Future[[]any] {
 		return f
 	}
 	p := &pendingReply{deliver: func(resp *response, err error) {
-		switch {
-		case err != nil:
-			resolve(nil, err)
-		case resp.Err != "":
-			resolve(resp.Results, &RemoteError{Msg: resp.Err})
-		default:
-			resolve(resp.Results, nil)
-		}
+		res, _, err := outcome(resp, err)
+		resolve(res, err)
 	}}
-	if err := s.client.post(s.name, method, args, false, p); err != nil {
+	if err := s.client.post(s.name, method, args, false, false, 0, p); err != nil {
 		resolve(nil, err)
 	}
 	return f
+}
+
+// outcome maps one wire response to the caller-visible result triple: the
+// results, the server-side service time (zero when the server did not stamp
+// one) and the error — a RemoteError for servant failures, ErrStaleSession
+// for session-epoch rejections, nil with nil results for deduplicated
+// replays whose cached response was pruned.
+func outcome(resp *response, err error) ([]any, time.Duration, error) {
+	switch {
+	case err != nil:
+		return nil, 0, err
+	case resp.Stale:
+		return nil, 0, fmt.Errorf("rmi: %w", ErrStaleSession)
+	case resp.Err != "":
+		return resp.Results, time.Duration(resp.ServiceNs), &RemoteError{Msg: resp.Err}
+	default:
+		return resp.Results, time.Duration(resp.ServiceNs), nil
+	}
 }
 
 // InvokeCB ships the invocation like InvokeAsync but delivers the outcome
@@ -607,36 +720,36 @@ func (s *Stub) InvokeAsync(method string, args ...any) *future.Future[[]any] {
 // deliver runs on the client's reader goroutine (or inline, on an immediate
 // send failure) and must not block — windowed middleware completions hand
 // off to a buffered channel, which fits. This is the windowed dispatch hot
-// path's allocation-lean shape; the alloc-regression test pins it.
+// path's allocation-lean shape; the alloc-regression test pins it. The
+// service argument is the server-stamped dispatch time (zero when the
+// transport failed before a response), the signal the caller's tuning
+// controllers consume.
 //
 // Delivery is exactly-once: a send failure after the pending entry was
 // enqueued reaches deliver through Client.fail's drain AND surfaces as
 // post's error, so without the guard a dead connection would deliver a
 // second (phantom) outcome — the write-once future absorbed that on the
 // InvokeAsync path, the raw callback must dedupe itself.
-func (s *Stub) InvokeCB(method string, deliver func([]any, error), args ...any) {
+func (s *Stub) InvokeCB(method string, deliver func([]any, time.Duration, error), args ...any) {
+	s.invokeCB(method, 0, deliver, args)
+}
+
+func (s *Stub) invokeCB(method string, seq uint64, deliver func([]any, time.Duration, error), args []any) {
 	if method == "" {
-		deliver(nil, errors.New("rmi: empty method name"))
+		deliver(nil, 0, errors.New("rmi: empty method name"))
 		return
 	}
 	var delivered atomic.Bool
-	once := func(res []any, err error) {
+	once := func(res []any, service time.Duration, err error) {
 		if delivered.CompareAndSwap(false, true) {
-			deliver(res, err)
+			deliver(res, service, err)
 		}
 	}
 	p := &pendingReply{deliver: func(resp *response, err error) {
-		switch {
-		case err != nil:
-			once(nil, err)
-		case resp.Err != "":
-			once(resp.Results, &RemoteError{Msg: resp.Err})
-		default:
-			once(resp.Results, nil)
-		}
+		once(outcome(resp, err))
 	}}
-	if err := s.client.post(s.name, method, args, false, p); err != nil {
-		once(nil, err)
+	if err := s.client.post(s.name, method, args, false, false, seq, p); err != nil {
+		once(nil, 0, err)
 	}
 }
 
@@ -652,7 +765,7 @@ func (s *Stub) Send(method string, args ...any) error {
 	if err := s.client.acquireSendCredit(); err != nil {
 		return err
 	}
-	return s.client.post(s.name, method, args, true, oneWayAck)
+	return s.client.post(s.name, method, args, true, false, 0, oneWayAck)
 }
 
 // Flush waits for this stub's connection to drain its one-way window; see

@@ -1,0 +1,347 @@
+package rmi
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"aspectpar/internal/future"
+)
+
+// This file is the session layer of the fault-tolerant transport: server
+// incarnations are identified by a session epoch, clients handshake the
+// epoch at connect time and can re-establish a failed connection with a
+// bounded-backoff Reconnect, and session-tracked requests (a client tag, a
+// monotone sequence number, an epoch stamp) give the server what it needs
+// for exactly-once semantics under replay:
+//
+//   - at-most-once dedupe: a replayed request the server already applied is
+//     answered from a bounded response cache instead of executing twice —
+//     the guard that makes replaying an entire unacknowledged window safe
+//     when the client cannot know how far the dead connection got;
+//   - stale-session rejection: requests are pinned to the epoch the client
+//     handshook with, so a restarted server (new epoch, state lost) or a
+//     reset that rotated the epoch rejects replays that would otherwise
+//     apply out of context.
+//
+// The replay policy itself — what to resend, where to fail over — lives a
+// layer up, in par.NetRMI's journal; this file only provides mechanism.
+
+// ErrStaleSession is wrapped in the error of a session-tracked request that
+// was rejected because the server's session epoch no longer matches the
+// client's stamp: the server restarted (losing the objects the request
+// targets) or a reset rotated its epoch. The caller must re-handshake and
+// re-establish its exports before retrying.
+var ErrStaleSession = errors.New("stale session epoch")
+
+const staleSessionMsg = "rmi: stale session epoch"
+
+// epochSeq disambiguates servers created in the same nanosecond.
+var epochSeq atomic.Int64
+
+// newEpoch returns a fresh session epoch: unique within a process by the
+// counter, unique across processes (a restarted daemon on the same address)
+// by the wall clock.
+func newEpoch() int64 {
+	return time.Now().UnixNano() + epochSeq.Add(1)
+}
+
+// dedupeKeep bounds the per-client response cache: responses of the last
+// dedupeKeep applied sequence numbers can be replayed verbatim; older
+// duplicates are acknowledged with a bare Dup marker. It comfortably covers
+// any send window a replaying client can have had in flight.
+const dedupeKeep = 256
+
+// clientSession is the server side of one tracked client: the highest
+// applied sequence number, the recent response cache, and the dispatches
+// currently in progress (so a replay of a call whose original is still
+// executing waits for it instead of executing a second time).
+type clientSession struct {
+	applied    uint64
+	results    map[uint64]*response
+	inProgress map[uint64]chan struct{}
+}
+
+// beginTracked is the server side of at-most-once execution for one tracked
+// request. It returns a non-nil response when the request must NOT be
+// dispatched — it was already applied (the cached response, or a bare Dup
+// marker once pruned) — possibly after waiting for an in-progress original
+// to finish. Otherwise it returns a finish func the handler must call with
+// the dispatched response: finish records the application and wakes any
+// replica of the request that arrived while it ran.
+func (s *Server) beginTracked(client string, seq uint64) (*response, func(*response)) {
+	s.mu.Lock()
+	sess := s.sessions[client]
+	if sess == nil {
+		sess = &clientSession{results: make(map[uint64]*response), inProgress: make(map[uint64]chan struct{})}
+		s.sessions[client] = sess
+	}
+	if seq <= sess.applied {
+		r := sess.results[seq]
+		s.mu.Unlock()
+		if r == nil {
+			r = &response{Bound: true, Dup: true}
+		}
+		return r, nil
+	}
+	if ch, busy := sess.inProgress[seq]; busy {
+		s.mu.Unlock()
+		<-ch // the original dispatch is executing: wait, don't re-execute
+		s.mu.Lock()
+		r := sess.results[seq]
+		s.mu.Unlock()
+		if r == nil {
+			r = &response{Bound: true, Dup: true}
+		}
+		return r, nil
+	}
+	ch := make(chan struct{})
+	sess.inProgress[seq] = ch
+	s.mu.Unlock()
+	return nil, func(resp *response) {
+		s.mu.Lock()
+		if seq > sess.applied {
+			sess.applied = seq
+		}
+		sess.results[seq] = resp
+		delete(sess.results, seq-dedupeKeep)
+		if len(sess.results) > 2*dedupeKeep { // gaps escaped the rolling delete
+			for k := range sess.results {
+				if k+dedupeKeep <= sess.applied {
+					delete(sess.results, k)
+				}
+			}
+		}
+		delete(sess.inProgress, seq)
+		close(ch)
+		s.mu.Unlock()
+	}
+}
+
+// Epoch returns the server's session epoch.
+func (s *Server) Epoch() int64 { return s.epoch.Load() }
+
+// RotateEpoch moves the server to a fresh session epoch and forgets every
+// client session: tracked requests stamped with the previous epoch are
+// rejected as stale from here on. A node's reset rotates, so a replay racing
+// the reset cannot resurrect pre-reset state.
+func (s *Server) RotateEpoch() {
+	s.epoch.Store(newEpoch())
+	s.mu.Lock()
+	s.sessions = make(map[string]*clientSession)
+	s.mu.Unlock()
+}
+
+// Requests returns the number of requests handled since start — the
+// fault-injection harness's trigger signal ("kill the node after its N-th
+// request").
+func (s *Server) Requests() int64 { return s.requests.Load() }
+
+// DropConns force-closes every live connection while leaving the listener
+// (and all server state: registry, sessions, epoch) intact — a transport
+// blip, as opposed to Abort's process crash. Clients observe a connection
+// failure and can Reconnect into the same session epoch.
+func (s *Server) DropConns() {
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// ReconnectPolicy bounds Client.Reconnect's re-dial schedule. The zero value
+// selects the defaults noted per field.
+type ReconnectPolicy struct {
+	// MaxAttempts is the number of dials per Reconnect; 0 selects 5.
+	MaxAttempts int
+	// BaseBackoff is the sleep before the second attempt, doubling per
+	// attempt; 0 selects 5ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubling; 0 selects 250ms.
+	MaxBackoff time.Duration
+	// DialTimeout bounds each dial; 0 selects 2s.
+	DialTimeout time.Duration
+}
+
+func (p ReconnectPolicy) withDefaults() ReconnectPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 5
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 5 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 250 * time.Millisecond
+	}
+	if p.DialTimeout <= 0 {
+		p.DialTimeout = 2 * time.Second
+	}
+	return p
+}
+
+// SetReconnectPolicy installs the client's Reconnect schedule.
+func (c *Client) SetReconnectPolicy(p ReconnectPolicy) {
+	c.mu.Lock()
+	c.policy = p
+	c.mu.Unlock()
+}
+
+// SetSession tags this client's tracked requests (InvokeSeq, SendSeq) with a
+// stable identity, arming the server's dedupe and stale-replay guards. Call
+// it once, before the first tracked request; the identity survives
+// Reconnect, which is the point.
+func (c *Client) SetSession(id string) { c.session = id }
+
+// Epoch returns the server session epoch of the last Handshake (zero before
+// the first).
+func (c *Client) Epoch() int64 { return c.epoch.Load() }
+
+// Handshake performs the session-epoch exchange and records the server's
+// epoch as the stamp of subsequent tracked requests. It pipelines like any
+// other call.
+func (c *Client) Handshake() (int64, error) {
+	f, resolve := future.New[*response]()
+	p := &pendingReply{deliver: func(r *response, err error) { resolve(r, err) }}
+	if err := c.post("", "", nil, false, true, 0, p); err != nil {
+		return 0, err
+	}
+	resp, err := f.Get()
+	if err != nil {
+		return 0, err
+	}
+	c.epoch.Store(resp.Epoch)
+	return resp.Epoch, nil
+}
+
+// Reconnect re-establishes a failed connection to the same address under
+// the client's ReconnectPolicy (bounded attempts, exponential backoff) and
+// re-handshakes the session epoch. Pending calls of the dead connection
+// were already resolved with the transport error by fail; Reconnect resets
+// the transport state so the same Client — and every Stub minted from it —
+// works again. It reports whether the server kept its session epoch: true
+// means the same incarnation survived a transport blip (its objects and
+// dedupe state are intact, so replaying unacknowledged requests is safe);
+// false means a fresh incarnation (a restarted node: exports and sessions
+// are gone, and stale replays would be rejected anyway).
+//
+// Reconnect refuses on a client that was explicitly Closed.
+func (c *Client) Reconnect() (sameEpoch bool, err error) {
+	c.mu.Lock()
+	if c.userClosed {
+		c.mu.Unlock()
+		return false, ErrClosed
+	}
+	pol := c.policy.withDefaults()
+	prev := c.epoch.Load()
+	gen := c.gen
+	c.mu.Unlock()
+	// A Reconnect on a still-healthy connection (a caller that detected the
+	// failure out of band) drains it first, so no pending entry is orphaned
+	// by the swap.
+	c.fail(gen, errors.New("rmi: reconnecting"))
+
+	var conn net.Conn
+	backoff := pol.BaseBackoff
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > pol.MaxBackoff {
+				backoff = pol.MaxBackoff
+			}
+		}
+		conn, err = net.DialTimeout("tcp", c.addr, pol.DialTimeout)
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return false, fmt.Errorf("rmi: reconnect %s: %w", c.addr, err)
+	}
+
+	c.sendMu.Lock()
+	c.mu.Lock()
+	if c.userClosed {
+		c.mu.Unlock()
+		c.sendMu.Unlock()
+		conn.Close()
+		return false, ErrClosed
+	}
+	old := c.conn
+	c.gen++
+	newGen := c.gen
+	c.conn = conn
+	c.bw = bufio.NewWriter(conn)
+	c.enc = gob.NewEncoder(c.bw)
+	c.transport = nil
+	c.closed = false
+	c.pending = nil
+	c.inFlightSends = 0
+	c.sendErrs = nil
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.sendMu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	go c.readLoop(gob.NewDecoder(conn), newGen)
+
+	epoch, err := c.Handshake()
+	if err != nil {
+		return false, fmt.Errorf("rmi: reconnect handshake: %w", err)
+	}
+	return prev != 0 && epoch == prev, nil
+}
+
+// InvokeSeq ships a session-tracked invocation: like InvokeCB, but the
+// request carries the caller-assigned sequence number (plus the client's
+// session tag and epoch stamp), so a replay of the same seq after a
+// reconnect is applied at most once by the server. seq must be positive and
+// monotone per client session; SetSession must have been called.
+func (s *Stub) InvokeSeq(method string, seq uint64, deliver func([]any, time.Duration, error), args ...any) {
+	s.invokeCB(method, seq, deliver, args)
+}
+
+// SendSeq ships a session-tracked one-way invocation with a per-call
+// acknowledgement callback: acked runs exactly once — on the reader
+// goroutine with nil once the server acknowledged the send, with the
+// servant's RemoteError when it failed remotely, or with the transport
+// error when the connection died (or the send itself failed) — the journal
+// bookkeeping a replaying caller needs, which the collective Flush cannot
+// provide. Like Send, it blocks on the flow-control window; unlike Send,
+// its remote failures are NOT accumulated for Flush (the callback owns
+// them).
+func (s *Stub) SendSeq(method string, seq uint64, acked func(error), args ...any) {
+	if method == "" {
+		acked(errors.New("rmi: empty method name"))
+		return
+	}
+	// The exactly-once guard: a post failure after the pending entry was
+	// enqueued reaches acked both through fail's drain and through post's
+	// error return (see InvokeCB).
+	var delivered atomic.Bool
+	once := func(err error) {
+		if delivered.CompareAndSwap(false, true) {
+			acked(err)
+		}
+	}
+	if err := s.client.acquireSendCredit(); err != nil {
+		once(err)
+		return
+	}
+	p := &pendingReply{oneWay: true, deliver: func(resp *response, err error) {
+		_, _, err = outcome(resp, err)
+		once(err)
+	}}
+	if err := s.client.post(s.name, method, args, true, false, seq, p); err != nil {
+		once(err)
+	}
+}

@@ -1,0 +1,213 @@
+package sieve
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aspectpar/internal/exec"
+	"aspectpar/internal/par"
+	"aspectpar/internal/rmi"
+)
+
+// This file is the chaos half of the net conformance harness: the same
+// module-matrix cells, re-run with seeded fault injection. A watcher kills a
+// node daemon after a randomized-but-seeded number of served requests — mid
+// window, mid export, mid gather, wherever the seed lands — and restarts a
+// fresh incarnation on the same address. The run must still match the
+// hand-coded oracle exactly (exactly-once completion: no pack lost, none
+// filtered twice) and the scheduler's work-conservation invariant
+// Executed == Seeded + Splits must hold through the crash.
+//
+// The seed comes from CHAOS_SEED (default 1); every failure message carries
+// the seed and kill point, so CI failures reproduce locally with
+// CHAOS_SEED=<seed> go test -race -run TestChaos ./internal/sieve.
+
+// chaosSeed returns the harness seed (CHAOS_SEED, default 1).
+func chaosSeed(t *testing.T) int64 {
+	s := os.Getenv("CHAOS_SEED")
+	if s == "" {
+		return 1
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("CHAOS_SEED=%q: %v", s, err)
+	}
+	return v
+}
+
+// chaosNodes is a restartable set of loopback node daemons hosting
+// PrimeFilter, each on its own fresh domain.
+type chaosNodes struct {
+	t     *testing.T
+	addrs []string
+
+	mu    sync.Mutex
+	nodes []*rmi.Node
+}
+
+func startChaosNodes(t *testing.T, count int) *chaosNodes {
+	t.Helper()
+	c := &chaosNodes{t: t}
+	for i := 0; i < count; i++ {
+		node := rmi.NewNode(exec.Real())
+		par.HostClass(node, DefineClass(par.NewDomain()))
+		addr, err := node.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Skipf("loopback TCP unavailable: %v", err)
+		}
+		c.nodes = append(c.nodes, node)
+		c.addrs = append(c.addrs, addr)
+	}
+	t.Cleanup(func() {
+		c.mu.Lock()
+		nodes := append([]*rmi.Node(nil), c.nodes...)
+		c.mu.Unlock()
+		for _, n := range nodes {
+			n.Close()
+		}
+	})
+	return c
+}
+
+func (c *chaosNodes) node(i int) *rmi.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[i]
+}
+
+// crashRestart kills node i (abandoning everything in flight) and brings up
+// a fresh incarnation — new epoch, empty registry — on the same address.
+func (c *chaosNodes) crashRestart(i int) error {
+	c.mu.Lock()
+	old := c.nodes[i]
+	c.mu.Unlock()
+	old.Abort()
+	node := rmi.NewNode(exec.Real())
+	par.HostClass(node, DefineClass(par.NewDomain()))
+	var err error
+	for attempt := 0; attempt < 50; attempt++ {
+		if _, err = node.Listen(c.addrs[i]); err == nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("restart node %d on %s: %w", i, c.addrs[i], err)
+	}
+	c.mu.Lock()
+	c.nodes[i] = node
+	c.mu.Unlock()
+	return nil
+}
+
+// watchAndKill polls the victim's request counter and crash-restarts it once
+// it has served killAt requests. It reports through killed whether the kill
+// fired before stop closed.
+func (c *chaosNodes) watchAndKill(victim int, killAt int64, stop <-chan struct{}, killed *atomic.Bool) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.After(200 * time.Microsecond):
+		}
+		if c.node(victim).Requests() >= killAt {
+			if err := c.crashRestart(victim); err == nil {
+				killed.Store(true)
+			}
+			return
+		}
+	}
+}
+
+// chaosCell is one fault-injected conformance cell: a matrix combo plus the
+// fault policy it runs under.
+type chaosCell struct {
+	name   string
+	combo  Combo
+	policy par.FaultPolicy
+}
+
+func chaosCells() []chaosCell {
+	fast := rmi.ReconnectPolicy{MaxAttempts: 20, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 20 * time.Millisecond}
+	return []chaosCell{
+		// The windowed self-scheduling farms: pipelined in-flight calls are
+		// journaled and replayed across the crash.
+		{"dynamic-replay", Combo{PartDynamicFarm, ConcMerged, DistNet},
+			par.FaultPolicy{Enabled: true, Reconnect: fast}},
+		{"stealing-replay", Combo{PartStealingFarm, ConcMerged, DistNet},
+			par.FaultPolicy{Enabled: true, Reconnect: fast}},
+		// Scheduler reabsorption: the crash's orphaned packs are handed back
+		// retryable and a surviving replica's worker re-executes them.
+		{"stealing-requeue", Combo{PartStealingFarm, ConcMerged, DistNet},
+			par.FaultPolicy{Enabled: true, Reconnect: fast, RequeueOrphans: true}},
+		// The static farm's one-way void window: fire-and-forget sends
+		// journaled until their acks, replayed with server-side dedupe.
+		{"static-oneway", Combo{PartFarm, ConcAsync, DistNet},
+			par.FaultPolicy{Enabled: true, Reconnect: fast}},
+	}
+}
+
+// TestChaosMatrix re-runs net conformance cells under seeded node kills:
+// a node daemon dies mid-run at a scripted request count and restarts; the
+// primes must still equal the hand-coded oracle and the scheduler's
+// accounting must conserve work through the crash.
+func TestChaosMatrix(t *testing.T) {
+	requireLoopback(t)
+	seed := chaosSeed(t)
+	p := matrixParams()
+	p.Packs = 24 // enough in-flight traffic that scripted kills land mid-window
+	p.Window = 2
+	want, err := HandSequential(p.Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const killPoints = 3
+	for ci, cell := range chaosCells() {
+		cell := cell
+		ci := ci
+		t.Run(cell.name, func(t *testing.T) {
+			for k := 0; k < killPoints; k++ {
+				rng := rand.New(rand.NewSource(seed<<16 + int64(ci)<<8 + int64(k)))
+				nodes := startChaosNodes(t, 2)
+				victim := rng.Intn(2)
+				killAt := int64(4 + rng.Intn(10))
+				tag := fmt.Sprintf("seed=%d cell=%s kill=%d victim=%d killAt=%d", seed, cell.name, k, victim, killAt)
+				stop := make(chan struct{})
+				var killed atomic.Bool
+				go nodes.watchAndKill(victim, killAt, stop, &killed)
+
+				pc := p
+				pc.NetAddrs = nodes.addrs
+				pc.Faults = cell.policy
+				res, err := RunCombo(cell.combo, pc)
+				close(stop)
+				if err != nil {
+					t.Fatalf("%s: run failed: %v", tag, err)
+				}
+				assertPrimesEqual(t, res.Primes, want)
+				if st := res.Steals; st.Executed != st.Seeded+st.Splits {
+					t.Errorf("%s: work conservation broken: Executed %d != Seeded %d + Splits %d",
+						tag, st.Executed, st.Seeded, st.Splits)
+				}
+				if killed.Load() {
+					f := res.Faults
+					if f.Reconnects+f.Failovers+f.DroppedPeers+f.Requeues == 0 {
+						t.Errorf("%s: node was killed mid-run but FaultStats is empty: %+v", tag, f)
+					}
+					if f.DroppedPeers > 0 && !cell.policy.NoFailover && f.Failovers == 0 {
+						t.Errorf("%s: peer dropped without failing its objects over: %+v", tag, f)
+					}
+					t.Logf("%s: recovered (stats %+v)", tag, f)
+				} else {
+					t.Logf("%s: kill fired after the run finished (faster run than kill point)", tag)
+				}
+			}
+		})
+	}
+}

@@ -92,10 +92,11 @@ func TestNetMatchesSimulatedRMI(t *testing.T) {
 }
 
 // TestNetAutotuned runs the stealing farm over the real middleware with the
-// tuning controllers on: the transport stamps no timing signals, so the
-// window controller must fall back to the fixed depth (never starving the
-// pipe), placement-aware victim selection runs against the real two-node
-// placement, and the primes still match the oracle exactly.
+// tuning controllers on: the transport stamps node-side service time into
+// each response and the client measures the round trip, so the window and
+// pack-size controllers engage from real signals instead of holding the
+// fixed knobs. Placement-aware victim selection runs against the real
+// two-node placement, and the primes still match the oracle exactly.
 func TestNetAutotuned(t *testing.T) {
 	requireLoopback(t)
 	p := netParams()
@@ -111,6 +112,11 @@ func TestNetAutotuned(t *testing.T) {
 	assertPrimesEqual(t, res.Primes, want)
 	if st := res.Steals; st.LocalSteals+st.RemoteSteals != st.Steals {
 		t.Errorf("steal locality accounting broken over net: %+v", st)
+	}
+	// The controllers must have seen real timing signals: service EWMAs only
+	// accumulate when NetRMI completions carry node-side dispatch times.
+	if res.Tune.AvgServiceNs <= 0 {
+		t.Errorf("no service-time signal reached the tuner over real TCP: %+v", res.Tune)
 	}
 }
 

@@ -289,6 +289,11 @@ type Params struct {
 	// NetNodes is the number of in-process loopback daemons a DistNet run
 	// launches when NetAddrs is empty; 0 selects 2.
 	NetNodes int
+	// Faults enables NetRMI's fault-tolerance subsystem for DistNet runs:
+	// journaled calls, reconnect/replay across transport blips, state
+	// reconstruction after a node restart, placement failover off dead
+	// nodes (see par.FaultPolicy). Zero keeps the fail-fast transport.
+	Faults par.FaultPolicy
 }
 
 // PaperParams returns the evaluation parameters of Section 6.
@@ -338,6 +343,9 @@ type Result struct {
 	// Tune reports the tuning controllers' counters (zero unless
 	// Params.Autotune enabled them).
 	Tune par.TuneStats
+	// Faults reports the fault-tolerance subsystem's counters (zero unless
+	// Params.Faults enabled it on a DistNet run).
+	Faults par.FaultStats
 }
 
 // Run executes one variant and returns its result. Every run builds a fresh
@@ -512,6 +520,9 @@ func startNetEnv(p Params) (*netEnv, error) {
 		}
 	}
 	env.mw = par.NewNetRMI(par.NetAddressTable(addrs...))
+	if p.Faults.Enabled {
+		env.mw.SetFaultPolicy(p.Faults)
+	}
 	if len(p.NetAddrs) > 0 {
 		// Borrowed daemons may hold a previous run's placements; start from
 		// a clean registry so the generated "PS<n>" names bind.
@@ -721,6 +732,9 @@ func runWoven(v Variant, c Combo, p Params) (Result, error) {
 	}
 	if w.dist != nil {
 		res.Comm = w.dist.Middleware().Stats()
+	}
+	if w.net != nil {
+		res.Faults = w.net.mw.FaultStats()
 	}
 	if w.conc != nil {
 		res.Spawned = w.conc.Spawned()
