@@ -1,0 +1,80 @@
+// Package clock is the time seam under the fault-tolerant transport: every
+// wait, grace period and timestamp of internal/rmi's session layer and
+// internal/par's fault subsystem flows through a Clock instead of calling the
+// time package directly. Two implementations ship:
+//
+//   - [Real]: a zero-cost passthrough to the wall clock — the production
+//     default, behaviour-identical to calling time.Now/Sleep/After directly;
+//   - [Virtual]: a deterministic discrete-event clock in the spirit of
+//     internal/sim's engine — waits park on a (deadline, sequence)-ordered
+//     heap and time advances only when the harness (or the auto-advance
+//     pump) says so, which is what turns the chaos tests' backoffs, retry
+//     graces and partition windows from wall-clocked sleeps into seeded,
+//     load-independent virtual-time scenarios.
+//
+// The seam exists for the same reason the simulated cluster does: failure
+// behaviour earns trust only when it is exercised as systematically as the
+// happy path, and timeouts that burn real milliseconds cap how many failure
+// schedules one CI run can afford. With the waits virtual, thousands of
+// chaos cells cost what their compute costs.
+package clock
+
+import "time"
+
+// Clock abstracts the time operations the fault layer depends on. All
+// methods are safe for concurrent use.
+type Clock interface {
+	// Now returns the current instant (wall time under Real, virtual time
+	// under Virtual).
+	Now() time.Time
+	// Since returns the time elapsed since t on this clock.
+	Since(t time.Time) time.Duration
+	// Sleep blocks the calling goroutine for d of this clock's time.
+	// Non-positive d returns immediately.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the clock's time once d has
+	// elapsed. Like time.After, the underlying timer is not reclaimed until
+	// it fires; waits that may be abandoned early should use NewTimer and
+	// Stop it.
+	After(d time.Duration) <-chan time.Time
+	// NewTimer returns a stoppable timer firing after d.
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer is a stoppable single-shot timer (the subset of time.Timer the
+// transport needs — enough to select on a backoff against a close signal and
+// to not leak the drain-grace timer on the fast path).
+type Timer interface {
+	// C returns the channel the expiry is delivered on.
+	C() <-chan time.Time
+	// Stop cancels the timer, reporting whether it was still pending. A
+	// stopped timer's channel never delivers.
+	Stop() bool
+}
+
+// Real returns the wall-clock implementation: every method is a direct
+// passthrough to the time package, so code handed Real() behaves
+// bit-identically to code calling time.Now/Sleep/After itself.
+func Real() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) Since(t time.Time) time.Duration        { return time.Since(t) }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (realClock) NewTimer(d time.Duration) Timer         { return realTimer{time.NewTimer(d)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) C() <-chan time.Time { return t.t.C }
+func (t realTimer) Stop() bool          { return t.t.Stop() }
+
+// Or returns c, or Real() when c is nil — the "zero config selects the wall
+// clock" rule every seam consumer applies.
+func Or(c Clock) Clock {
+	if c == nil {
+		return Real()
+	}
+	return c
+}

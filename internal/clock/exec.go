@@ -1,0 +1,83 @@
+package clock
+
+import (
+	"sync"
+	"time"
+
+	"aspectpar/internal/exec"
+)
+
+// Exec bridges an execution-substrate context to the Clock seam: Now and
+// Sleep map onto ctx.Now/ctx.Sleep, so code written against Clock follows
+// whatever time the substrate runs — wall time under exec.Real, virtual time
+// inside the discrete-event cluster (internal/sim driving internal/cluster).
+// This is the sim-side half of the seam: the same fault-layer code path that
+// Real() runs in production and Virtual runs in the chaos harness can ride a
+// simulated run's clock.
+//
+// After and NewTimer are served by a spawned activity that sleeps out the
+// delay and delivers on a buffered channel. Under the cooperative simulated
+// backend the delivery itself never blocks the engine (the channel is
+// buffered), but the *receiver* must be a real-backend goroutine or consume
+// via TryRecv-style polling — a simulated process blocking on a Go channel
+// would stall the whole engine. Timed waits inside simulated processes
+// should prefer Sleep.
+func Exec(ctx exec.Context) Clock { return execClock{ctx: ctx, base: time.Unix(0, 0)} }
+
+type execClock struct {
+	ctx  exec.Context
+	base time.Time
+}
+
+func (c execClock) Now() time.Time                  { return c.base.Add(c.ctx.Now()) }
+func (c execClock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+func (c execClock) Sleep(d time.Duration) {
+	if d > 0 {
+		c.ctx.Sleep(d)
+	}
+}
+
+func (c execClock) After(d time.Duration) <-chan time.Time {
+	return c.NewTimer(d).C()
+}
+
+func (c execClock) NewTimer(d time.Duration) Timer {
+	t := &execTimer{ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		t.fired = true
+		t.ch <- c.Now()
+		return t
+	}
+	c.ctx.Spawn("clock.timer", func(actx exec.Context) {
+		actx.Sleep(d)
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		if !t.stopped {
+			t.fired = true
+			t.ch <- c.base.Add(actx.Now())
+		}
+	})
+	return t
+}
+
+// execTimer cannot unpark the substrate sleep backing it; Stop just
+// suppresses the delivery (the timer activity still runs out its delay,
+// which under virtual time costs nothing).
+type execTimer struct {
+	mu      sync.Mutex
+	ch      chan time.Time
+	fired   bool
+	stopped bool
+}
+
+func (t *execTimer) C() <-chan time.Time { return t.ch }
+
+func (t *execTimer) Stop() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}

@@ -1,0 +1,286 @@
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Virtual is a deterministic discrete-event clock: Sleep, After and NewTimer
+// park their waiters on a (deadline, sequence)-ordered heap — the same total
+// order internal/sim's engine uses — and time only moves when Advance (or
+// the auto-advance pump, see AutoAdvance) releases them. Real goroutines do
+// the waiting, so Virtual drops into code written against the wall clock
+// without restructuring it; what changes is who decides when a backoff or a
+// grace period "elapses": the test harness, not the scheduler's load.
+//
+// Synchronisation between the harness and the code under test uses the
+// waiter counters: TotalWaits is a monotone count of every wait ever parked,
+// so AwaitWaits(n) is the deterministic rendering of "sleep until the
+// recovery loop is provably sitting in its dial backoff" — the assertion the
+// wall-clocked tests approximated with time.Sleep.
+type Virtual struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	now     time.Time
+	seq     uint64
+	waiters waiterHeap
+	total   uint64 // waits ever parked (AwaitWaits' signal)
+
+	pumpOn     bool
+	pumpSettle time.Duration
+	closed     bool
+}
+
+// NewVirtual returns a virtual clock frozen at start.
+func NewVirtual(start time.Time) *Virtual {
+	v := &Virtual{now: start}
+	v.cond = sync.NewCond(&v.mu)
+	return v
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Since implements Clock.
+func (v *Virtual) Since(t time.Time) time.Duration { return v.Now().Sub(t) }
+
+// Sleep implements Clock: the goroutine parks until virtual time reaches
+// now+d. Non-positive d returns immediately without parking.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	w := v.register(d)
+	<-w.ch
+}
+
+// After implements Clock.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	if d <= 0 {
+		ch := make(chan time.Time, 1)
+		ch <- v.Now()
+		return ch
+	}
+	return v.register(d).ch
+}
+
+// NewTimer implements Clock.
+func (v *Virtual) NewTimer(d time.Duration) Timer {
+	if d <= 0 {
+		ch := make(chan time.Time, 1)
+		ch <- v.Now()
+		return &virtualTimer{v: v, w: &waiter{ch: ch, index: -1}}
+	}
+	return &virtualTimer{v: v, w: v.register(d)}
+}
+
+type virtualTimer struct {
+	v *Virtual
+	w *waiter
+}
+
+func (t *virtualTimer) C() <-chan time.Time { return t.w.ch }
+
+func (t *virtualTimer) Stop() bool {
+	t.v.mu.Lock()
+	defer t.v.mu.Unlock()
+	if t.w.index < 0 {
+		return false // already fired or stopped
+	}
+	heap.Remove(&t.v.waiters, t.w.index)
+	t.w.index = -1
+	t.v.cond.Broadcast()
+	return true
+}
+
+// register parks a new waiter due at now+d and wakes the pump and any
+// AwaitWaits callers. On a closed clock nothing may park — the waiter fires
+// at its deadline immediately, so shutdown paths (a node's drain grace
+// running during late test cleanup) complete instead of sleeping on a clock
+// nobody drives any more.
+func (v *Virtual) register(d time.Duration) *waiter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.seq++
+	if v.closed {
+		at := v.now.Add(d)
+		if at.After(v.now) {
+			v.now = at
+		}
+		ch := make(chan time.Time, 1)
+		ch <- v.now
+		return &waiter{at: v.now, seq: v.seq, ch: ch, index: -1}
+	}
+	w := &waiter{at: v.now.Add(d), seq: v.seq, ch: make(chan time.Time, 1)}
+	heap.Push(&v.waiters, w)
+	v.total++
+	v.cond.Broadcast()
+	return w
+}
+
+// Advance moves virtual time forward by d, firing — in deadline then
+// registration order — every waiter whose deadline falls within the window.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	v.advanceToLocked(v.now.Add(d))
+	v.mu.Unlock()
+}
+
+// advanceToLocked releases all waiters due by target and sets now = target.
+// v.mu held.
+func (v *Virtual) advanceToLocked(target time.Time) {
+	for len(v.waiters) > 0 && !v.waiters[0].at.After(target) {
+		w := heap.Pop(&v.waiters).(*waiter)
+		w.index = -1
+		v.now = w.at
+		w.ch <- v.now
+	}
+	if target.After(v.now) {
+		v.now = target
+	}
+	v.cond.Broadcast()
+}
+
+// Waiters reports the number of currently parked waits.
+func (v *Virtual) Waiters() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.waiters)
+}
+
+// TotalWaits reports the monotone count of waits ever parked on this clock.
+func (v *Virtual) TotalWaits() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.total
+}
+
+// AwaitWaits blocks until TotalWaits reaches at least n: the deterministic
+// "that goroutine is provably parked on its timed wait now" synchronisation
+// point. Counting cumulatively (not currently-parked) makes it race-free
+// against an auto-advance pump that releases waiters as fast as they park.
+func (v *Virtual) AwaitWaits(n uint64) {
+	v.mu.Lock()
+	for v.total < n {
+		v.cond.Wait()
+	}
+	v.mu.Unlock()
+}
+
+// AutoAdvance starts the discrete-event pump: whenever at least one waiter
+// is parked, the pump waits settle of real time (a grace for in-flight work
+// — a TCP round trip, a dispatch — to park or make progress) and then
+// advances virtual time to the earliest pending deadline, firing it. One
+// deadline per step, so work released by a fire can park new, earlier
+// demands before the next step.
+//
+// The pump is what makes a chaos scenario's virtual backoffs and partition
+// windows cost zero(ish) wall time while the computation between them stays
+// real. It trades strict event-order determinism for load independence —
+// the scenario scripts stay a pure function of their seed, and the oracle
+// assertions pin every outcome — which is exactly the bargain the chaos
+// harness wants. Call Close to stop the pump.
+func (v *Virtual) AutoAdvance(settle time.Duration) {
+	v.mu.Lock()
+	if v.pumpOn || v.closed {
+		v.mu.Unlock()
+		return
+	}
+	v.pumpOn = true
+	v.pumpSettle = settle
+	v.mu.Unlock()
+	go v.pump()
+}
+
+func (v *Virtual) pump() {
+	for {
+		v.mu.Lock()
+		for !v.closed && len(v.waiters) == 0 {
+			v.cond.Wait()
+		}
+		if v.closed {
+			v.mu.Unlock()
+			return
+		}
+		settle := v.pumpSettle
+		v.mu.Unlock()
+		if settle > 0 {
+			time.Sleep(settle)
+		}
+		v.mu.Lock()
+		if !v.closed && len(v.waiters) > 0 {
+			v.advanceToLocked(v.waiters[0].at)
+		}
+		closed := v.closed
+		v.mu.Unlock()
+		if closed {
+			return
+		}
+	}
+}
+
+// Close stops the auto-advance pump and releases every parked waiter at its
+// deadline (so no goroutine is left sleeping on a clock nobody drives).
+// Close is idempotent.
+func (v *Virtual) Close() {
+	v.mu.Lock()
+	if v.closed {
+		v.mu.Unlock()
+		return
+	}
+	v.closed = true
+	for len(v.waiters) > 0 {
+		w := heap.Pop(&v.waiters).(*waiter)
+		w.index = -1
+		if w.at.After(v.now) {
+			v.now = w.at
+		}
+		w.ch <- v.now
+	}
+	v.cond.Broadcast()
+	v.mu.Unlock()
+}
+
+// waiter is one parked wait.
+type waiter struct {
+	at    time.Time
+	seq   uint64
+	ch    chan time.Time
+	index int // heap index; -1 once fired or stopped
+}
+
+// waiterHeap orders waiters by deadline then registration (FIFO within an
+// instant), mirroring internal/sim's event order.
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h waiterHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *waiterHeap) Push(x any) {
+	w := x.(*waiter)
+	w.index = len(*h)
+	*h = append(*h, w)
+}
+func (h *waiterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}

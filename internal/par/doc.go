@@ -219,7 +219,10 @@
 //   - Placement failover. When the reconnect budget is exhausted the peer
 //     is dropped and its objects are rebuilt the same way on a surviving
 //     node; the registry placement is remapped, so [Distribution.NodeOf] —
-//     and the placement-aware stealing it feeds — follows the move. If no
+//     and the placement-aware stealing it feeds — follows the move. A new
+//     export whose requested node is already gone for good fails over at
+//     creation time: the object is built on a surviving node instead and
+//     the returned reference records where it actually landed. If no
 //     surviving node hosts the class, the pending calls fail and Join
 //     surfaces a typed [NoFailoverError]: fail fast, never silent loss.
 //
@@ -238,9 +241,24 @@
 // pre-reset exports), and the node's reset rotates its session epoch (a
 // replay that slips past the client-side check is rejected as stale,
 // rmi.ErrStaleSession). [NetRMI.FaultStats] counts reconnects, replays,
-// failovers, dropped peers and requeued orphans; the chaos CI matrix kills
-// node daemons at seeded points mid-run and pins every cell to the
-// hand-coded oracle. The journal holds constructor arguments and applied
-// calls for the run's lifetime — bounded work for experiment-shaped runs;
-// checkpointing the history is the noted cost of truly unbounded ones.
+// failovers, dropped peers, requeued orphans and abandoned recoveries; the
+// chaos CI matrix kills node daemons at seeded points mid-run and pins
+// every cell to the hand-coded oracle. The journal holds constructor
+// arguments and applied calls for the run's lifetime — bounded work for
+// experiment-shaped runs; checkpointing the history is the noted cost of
+// truly unbounded ones.
+//
+// Every timed decision the fault layer makes — the reconnect backoff
+// schedule, the export-retry pacing, a server's close-drain grace, the RTT
+// stamped into completions — rides a [clock.Clock] seam rather than the
+// package time globals. [NetRMI.SetClock] (called before SetFaultPolicy
+// and the first dial; the session nonce mints on it) threads one clock
+// through the middleware, its clients and, via rmi.Server.SetClock, the
+// node daemons. The zero-config default is the wall clock, bit-identical
+// to the pre-seam behaviour; installing a clock.Virtual puts every backoff
+// and grace window under test control, which is what makes the chaos
+// scenario matrix deterministic: failure scripts are pure functions of a
+// seed, armed by request-count watermarks (rmi.Server.WatchRequests) and
+// paced by the virtual clock's auto-advance pump instead of wall-clock
+// sleeps.
 package par

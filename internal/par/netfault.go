@@ -99,6 +99,10 @@ type FaultStats struct {
 	// Requeues counts windowed calls handed back to the scheduler as
 	// retryable orphans (FaultPolicy.RequeueOrphans).
 	Requeues int64
+	// Abandoned counts peers drained without replay because their
+	// generation ended (Reset/Close raced the recovery). Tests use it as
+	// the "recovery finished, nothing resurrected" signal.
+	Abandoned int64
 }
 
 // FaultError wraps a call the fault layer could not transparently recover.
@@ -232,15 +236,21 @@ type netFaults struct {
 	failovers    atomic.Int64
 	droppedPeers atomic.Int64
 	requeues     atomic.Int64
+	abandoned    atomic.Int64
 }
 
 var faultNonce atomic.Int64
 
 func newNetFaults(m *NetRMI, policy FaultPolicy) *netFaults {
 	fa := &netFaults{
-		m:       m,
-		policy:  policy.withDefaults(),
-		nonce:   time.Now().UnixNano() + faultNonce.Add(1),
+		m:      m,
+		policy: policy.withDefaults(),
+		// The nonce is the session identity the node's dedupe keys on, so two
+		// middleware instances must never share one. Clock+counter alone can
+		// collide across hosts (same nanosecond, counters both at 1), and a
+		// colliding identity would let one driver's replays dedupe against
+		// another's session — MixIdentity's random bits break the tie.
+		nonce:   rmi.MixIdentity(m.clk.Now().UnixNano() + faultNonce.Add(1)),
 		peers:   make(map[exec.NodeID]*peerFault),
 		exports: make(map[*NetRef]*netExport),
 	}
@@ -261,6 +271,7 @@ func (fa *netFaults) stats() FaultStats {
 		Failovers:    fa.failovers.Load(),
 		DroppedPeers: fa.droppedPeers.Load(),
 		Requeues:     fa.requeues.Load(),
+		Abandoned:    fa.abandoned.Load(),
 	}
 }
 
@@ -326,11 +337,11 @@ func (fa *netFaults) invokeAsync(ctx exec.Context, obj any, method string, args 
 		return
 	}
 	elems := payloadElems(args)
-	issued := time.Now()
+	issued := fa.m.clk.Now()
 	fa.submit(&netCall{
 		ref: ref, method: method, args: args, windowed: true,
 		deliver: func(res []any, service time.Duration, err error) {
-			done.Send(ctx, stampCompletion(res, err, issued, service, elems))
+			done.Send(ctx, stampCompletion(fa.m.clk, res, err, issued, service, elems))
 		},
 	})
 }
@@ -791,17 +802,28 @@ func (fa *netFaults) ctlCall(p *netPeer, pf *peerFault, seq uint64, verb string,
 // — the driver placing objects while the chaos harness kills the node — is
 // survived like any other failure. The retry reuses its sequence number:
 // an export applied just before the connection died dedupes on replay.
-func (fa *netFaults) exportNew(node exec.NodeID, name string, ctlArgs []any) (*rmi.Stub, error) {
+//
+// The no-connection retry loop runs on the policy's ReconnectPolicy budget
+// (attempts and exponential backoff, waited out on the middleware's clock),
+// not a schedule of its own: the operator who bounded how hard recovery
+// re-dials a dead peer has bounded how hard placement does, too.
+func (fa *netFaults) exportNew(node exec.NodeID, name string, ctlArgs []any) (*rmi.Stub, exec.NodeID, error) {
+	pol := fa.policy.Reconnect.WithDefaults()
+	backoff := pol.BaseBackoff
 	var seq uint64
 	var seqEpoch int64
 	var lastErr error
-	for attempt := 0; attempt < 3; attempt++ {
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
 		p, err := fa.m.peer(node)
 		if err != nil {
 			// No established connection to recover: the node may be mid
-			// restart — brief grace, then retry the dial.
+			// restart — back off on the policy's schedule, then retry the dial.
 			lastErr = err
-			time.Sleep(20 * time.Millisecond)
+			fa.m.clk.Sleep(backoff)
+			backoff *= 2
+			if backoff > pol.MaxBackoff {
+				backoff = pol.MaxBackoff
+			}
 			continue
 		}
 		pf := fa.seqSource(node)
@@ -817,19 +839,33 @@ func (fa *netFaults) exportNew(node exec.NodeID, name string, ctlArgs []any) (*r
 		if err == nil {
 			stub, lerr := p.client.Lookup(name)
 			if lerr == nil {
-				return stub, nil
+				return stub, node, nil
 			}
 			err = lerr
 		}
 		if isExecuted(err) || errors.Is(err, rmi.ErrStaleSession) {
-			return nil, err // the node answered and refused: not a transport fault
+			return nil, node, err // the node answered and refused: not a transport fault
 		}
 		lastErr = err
 		if !fa.awaitRecovery(node) {
-			return nil, err
+			// The peer is gone for good. Creation-time placement failover:
+			// the object has not been built anywhere yet, so retarget the
+			// creation to a surviving node — the same move redirectJournal
+			// makes for established exports — unless the policy pins
+			// placement.
+			if fa.policy.NoFailover {
+				return nil, node, err
+			}
+			target, ok := fa.pickTargetNode(node)
+			if !ok {
+				return nil, node, err
+			}
+			fa.failovers.Add(1)
+			node = target
+			seq, seqEpoch = 0, 0 // fresh session on the target: nothing to dedupe
 		}
 	}
-	return nil, lastErr
+	return nil, node, lastErr
 }
 
 // awaitRecovery kicks off (if needed) and waits out node's recovery,
@@ -894,9 +930,14 @@ func (fa *netFaults) failPeer(pf *peerFault, gen int64) {
 
 // pickTarget selects the lowest live, reachable node other than pf's.
 func (fa *netFaults) pickTarget(pf *peerFault) (exec.NodeID, bool) {
+	return fa.pickTargetNode(pf.node)
+}
+
+// pickTargetNode selects the lowest live, reachable node other than dead.
+func (fa *netFaults) pickTargetNode(dead exec.NodeID) (exec.NodeID, bool) {
 	ids := fa.m.nodeIDs()
 	for _, n := range ids {
-		if n == pf.node {
+		if n == dead {
 			continue
 		}
 		fa.mu.Lock()
@@ -1007,6 +1048,7 @@ func (fa *netFaults) drainLocked(pf *peerFault) []*netCall {
 // replayed — resurrecting pre-reset exports is exactly the bug the guard
 // exists for.
 func (fa *netFaults) abandon(pf *peerFault) {
+	fa.abandoned.Add(1)
 	fa.mu.Lock()
 	pf.state = pfDead
 	calls := fa.drainLocked(pf)

@@ -2,10 +2,12 @@ package par
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 
+	"aspectpar/internal/clock"
 	"aspectpar/internal/exec"
 	"aspectpar/internal/rmi"
 )
@@ -62,6 +64,14 @@ func defineAcc(dom *Domain, started chan struct{}, release chan struct{}) *Class
 // over them.
 func startFaultRig(t *testing.T, count int, policy FaultPolicy) *faultRig {
 	t.Helper()
+	return startFaultRigClock(t, count, policy, nil)
+}
+
+// startFaultRigClock is startFaultRig with the middleware on clk (nil keeps
+// the wall clock): reconnect backoffs, retry graces and RTT stamps all ride
+// it, so tests can hold a recovery parked on a virtual clock.
+func startFaultRigClock(t *testing.T, count int, policy FaultPolicy, clk clock.Clock) *faultRig {
+	t.Helper()
 	r := &faultRig{
 		t:       t,
 		ctx:     exec.Real(),
@@ -79,6 +89,9 @@ func startFaultRig(t *testing.T, count int, policy FaultPolicy) *faultRig {
 		r.addrs = append(r.addrs, addr)
 	}
 	r.mw = NewNetRMI(NetAddressTable(r.addrs...))
+	if clk != nil {
+		r.mw.SetClock(clk) // before SetFaultPolicy: the nonce mints on this clock
+	}
 	policy.Enabled = true
 	if policy.Reconnect.MaxAttempts == 0 {
 		policy.Reconnect = rmi.ReconnectPolicy{MaxAttempts: 10, BaseBackoff: 2 * time.Millisecond}
@@ -215,10 +228,16 @@ func TestFaultCrashDuringFlush(t *testing.T) {
 	<-r.started
 	joined := make(chan error, 1)
 	go func() { joined <- r.mw.Join(r.ctx) }()
+	// The window is provably open — SlowAdd is parked mid-dispatch on a gate
+	// this test holds — so the middleware cannot be quiet and Join cannot
+	// have returned. No timed grace needed.
+	if r.mw.Quiet() {
+		t.Fatal("middleware quiet while a one-way call is provably parked mid-dispatch")
+	}
 	select {
 	case err := <-joined:
 		t.Fatalf("Join returned %v while the one-way window was provably open", err)
-	case <-time.After(20 * time.Millisecond):
+	default:
 	}
 	r.node(0).DropConns() // the crash mid-Flush
 	close(r.release)
@@ -354,9 +373,11 @@ func TestFaultRequeueOrphansRetryable(t *testing.T) {
 
 // TestFaultResetDoesNotResurrect is the CtlReset ↔ reconnect race
 // regression: a driver reset racing a peer's recovery must not resurrect
-// pre-reset exports. The recovery here is provably in flight (the node is
-// down, the dial backoff running) when Reset invalidates the journal
-// generation; when the node comes back, nothing may re-export PS1.
+// pre-reset exports. The middleware runs on a virtual clock nobody advances,
+// so the recovery is provably parked in its dial backoff — the race window
+// is held open, not approximated with a sleep — when Reset invalidates the
+// journal generation; only then is time released. When the node comes back,
+// nothing may re-export PS1.
 func TestFaultResetDoesNotResurrect(t *testing.T) {
 	for _, reset := range []bool{false, true} {
 		name := "with-reset"
@@ -364,39 +385,69 @@ func TestFaultResetDoesNotResurrect(t *testing.T) {
 			name = "control-without-reset"
 		}
 		t.Run(name, func(t *testing.T) {
-			r := startFaultRig(t, 1, FaultPolicy{
+			v := clock.NewVirtual(time.Unix(0, 0))
+			defer v.Close()
+			r := startFaultRigClock(t, 1, FaultPolicy{
 				Reconnect: rmi.ReconnectPolicy{MaxAttempts: 40, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 10 * time.Millisecond},
-			})
+			}, v)
 			obj := r.export(t, "PS1", 0)
-			r.node(0).Abort() // down: recovery will sit in dial backoff
+			r.node(0).Abort() // down: recovery will park in dial backoff
 			done := r.ctx.NewChan(2)
 			r.mw.InvokeAsync(r.ctx, obj, "Add", []any{int64(1)}, false, done)
-			time.Sleep(20 * time.Millisecond) // recovery provably dialling
+			v.AwaitWaits(1) // recovery provably parked in its first backoff
 			if reset {
 				r.mw.Reset() // errors expected: the node is down mid-reset
 			}
 			r.restart(0)
-			// Give the recovery ample time to reconnect and (wrongly) replay.
-			deadline := time.Now().Add(600 * time.Millisecond)
-			resurrected := false
-			for time.Now().Before(deadline) {
+			v.AutoAdvance(100 * time.Microsecond) // release the backoff: recovery re-dials now
+			cv, _ := done.Recv(r.ctx)
+			_, err := cv.(*Completion).Reclaim(r.ctx)
+			if reset {
+				// The journal drained at Reset; the completion must carry the
+				// reset marker, not a replayed success.
+				if err == nil {
+					t.Error("pre-reset call reported success after Reset drained the journal")
+				}
+				// Abandoned flips once the recovery observed the stale
+				// generation and gave up — after that, no replay can follow.
+				waitUntil(t, "recovery abandoned the stale generation", func() bool {
+					return r.mw.FaultStats().Abandoned > 0
+				})
+				for _, n := range r.node(0).Names() {
+					if n == "PS1" {
+						t.Error("reset raced recovery and PS1 was resurrected on the fresh node")
+					}
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("control run: replay after restart failed: %v", err)
+				}
+				// The completion arrived, so the replay ran — and the replay
+				// re-exports before it re-executes: PS1 must be visible now.
+				resurrected := false
 				for _, n := range r.node(0).Names() {
 					if n == "PS1" {
 						resurrected = true
 					}
 				}
-				if resurrected {
-					break
+				if !resurrected {
+					t.Error("control run: recovery never re-exported PS1 — the race harness is inert")
 				}
-				time.Sleep(10 * time.Millisecond)
 			}
-			if reset && resurrected {
-				t.Error("reset raced recovery and PS1 was resurrected on the fresh node")
-			}
-			if !reset && !resurrected {
-				t.Error("control run: recovery never re-exported PS1 — the race harness is inert")
-			}
-			done.Recv(r.ctx) // drain the completion (reset error or success)
 		})
+	}
+}
+
+// waitUntil spins (yielding the processor) until cond holds — a liveness
+// wait on another goroutine's progress, not a timing assumption; the
+// deadline only bounds a failing test.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting until %s", what)
+		}
+		runtime.Gosched()
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"aspectpar/internal/clock"
 	"aspectpar/internal/exec"
 	"aspectpar/internal/rmi"
 )
@@ -51,6 +52,12 @@ type NetRMI struct {
 	// the zero FaultPolicy — keeps every dispatch path bit-identical to the
 	// fail-fast behaviour.
 	faults *netFaults
+
+	// clk is the middleware's time source: RTT stamps, reconnect backoffs
+	// and export-retry graces ride it. clock.Real() by default (see
+	// SetClock); fixed before the first dial, so dispatch paths read it
+	// without locking.
+	clk clock.Clock
 }
 
 // netPeer is one connected worker node: the pipelined client plus its
@@ -86,7 +93,23 @@ func NewNetRMI(addrs map[exec.NodeID]string) *NetRMI {
 		addrs:  table,
 		peers:  make(map[exec.NodeID]*netPeer),
 		stubs:  make(map[any]*rmi.Stub),
+		clk:    clock.Real(),
 	}
+}
+
+// SetClock installs the middleware's time source (nil selects the wall
+// clock): every reconnect backoff, export-retry grace and RTT stamp flows
+// through it, which is what lets the chaos harness run failure schedules on
+// virtual time. Like SetFaultPolicy, it must be called before the first
+// placement or call; installing a clock under sessions established on
+// another one panics.
+func (m *NetRMI) SetClock(clk clock.Clock) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.peers) > 0 {
+		panic("par: SetClock after peers were dialled")
+	}
+	m.clk = clock.Or(clk)
 }
 
 // NetAddressTable builds a node address table from an ordered address list:
@@ -166,6 +189,7 @@ func (m *NetRMI) peer(node exec.NodeID) (*netPeer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("par: netrmi node %d: %w", node, err)
 	}
+	client.SetClock(m.clk) // reconnect backoffs ride the middleware's clock
 	if fa := m.faults; fa != nil {
 		// Fault mode: the session identity survives reconnects (it is the
 		// server's dedupe key), the reconnect schedule comes from the policy,
@@ -248,9 +272,10 @@ func (m *NetRMI) ExportNew(ctx exec.Context, name string, node exec.NodeID, clas
 	var stub *rmi.Stub
 	if fa := m.faults; fa != nil {
 		// Fault mode: the creation protocol is session-tracked and retried
-		// through recovery, surviving a node crash mid-placement.
+		// through recovery — surviving a node crash mid-placement — and may
+		// land on a failover node when the requested one is gone for good.
 		var err error
-		stub, err = fa.exportNew(node, name, ctlArgs)
+		stub, node, err = fa.exportNew(node, name, ctlArgs)
 		if err != nil {
 			return nil, fmt.Errorf("par: netrmi export %s at node %d: %w", name, node, err)
 		}
@@ -346,14 +371,14 @@ func (m *NetRMI) InvokeAsync(ctx exec.Context, obj any, method string, args []an
 	}
 	m.stats.count(1, int64(reqSize))
 	elems := payloadElems(args)
-	issued := time.Now()
+	issued := m.clk.Now()
 	stub.InvokeCB(method, func(res []any, service time.Duration, err error) {
 		// This callback runs on the connection's single reader goroutine —
 		// every later pending response waits behind it — so the reply bytes
 		// are approximated (payload elements × width + floor) instead of
 		// gob re-encoding the results just for the traffic counter.
 		m.stats.count(1, int64(approxReplySize(res)))
-		done.Send(ctx, stampCompletion(res, err, issued, service, elems))
+		done.Send(ctx, stampCompletion(m.clk, res, err, issued, service, elems))
 	}, args...)
 }
 
@@ -364,11 +389,13 @@ func (m *NetRMI) InvokeAsync(ctx exec.Context, obj any, method string, args []an
 // (rtt−service)/2 make the window controller's rtt0 = 2·(arrival−issuedAt)
 // come out as the measured non-compute round trip. A missing service stamp
 // (transport failure) leaves the completion signal-free, which the
-// controllers treat as "hold the fixed knob".
-func stampCompletion(res []any, err error, issued time.Time, service time.Duration, elems int) *Completion {
+// controllers treat as "hold the fixed knob". The RTT is measured on the
+// middleware's clock, so under the chaos harness's virtual time the tuning
+// controllers see the injected latencies, not the wall.
+func stampCompletion(clk clock.Clock, res []any, err error, issued time.Time, service time.Duration, elems int) *Completion {
 	c := &Completion{Res: res, Err: err}
 	if service > 0 {
-		if half := (time.Since(issued) - service) / 2; half > 0 {
+		if half := (clk.Since(issued) - service) / 2; half > 0 {
 			c.arrival = half
 		}
 		c.service = service

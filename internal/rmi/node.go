@@ -4,7 +4,9 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sync"
+	"time"
 
+	"aspectpar/internal/clock"
 	"aspectpar/internal/exec"
 )
 
@@ -131,6 +133,23 @@ func (n *Node) Epoch() int64 { return n.srv.Epoch() }
 // Requests returns the number of requests this node has served — the
 // fault-injection harness's kill trigger.
 func (n *Node) Requests() int64 { return n.srv.Requests() }
+
+// WatchRequests returns a channel closed once the node has served at least
+// req requests — the event-driven form of the kill trigger (see
+// Server.WatchRequests).
+func (n *Node) WatchRequests(req int64) <-chan struct{} { return n.srv.WatchRequests(req) }
+
+// SetClock installs the node's time source; call before Listen (see
+// Server.SetClock).
+func (n *Node) SetClock(clk clock.Clock) { n.srv.SetClock(clk) }
+
+// SetPartitioned severs or heals the node's network (see
+// Server.SetPartitioned).
+func (n *Node) SetPartitioned(partitioned bool) { n.srv.SetPartitioned(partitioned) }
+
+// SetDispatchDelay injects per-request latency at this node (see
+// Server.SetDispatchDelay).
+func (n *Node) SetDispatchDelay(d time.Duration) { n.srv.SetDispatchDelay(d) }
 
 // Names lists the node's bound names, including the control servant —
 // deployment diagnostics and the reset-race regression tests.

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aspectpar/internal/clock"
 	"aspectpar/internal/future"
 )
 
@@ -121,6 +122,17 @@ type Server struct {
 	epoch    atomic.Int64
 	requests atomic.Int64
 	sessions map[string]*clientSession
+
+	// clk is the server's time source: service-time stamps, the drain grace
+	// and injected dispatch delays all flow through it. Fixed before Listen
+	// (see SetClock), so the serving goroutines read it without locking.
+	clk clock.Clock
+
+	// Fault-injection state (see inject.go).
+	partitioned   atomic.Bool
+	dispatchDelay atomic.Int64 // ns slept on clk before each dispatch
+	hasWatches    atomic.Bool  // fast-path gate for requestWatches
+	watches       []requestWatch
 }
 
 // NewServer returns a server with an empty registry and a fresh session
@@ -130,9 +142,19 @@ func NewServer() *Server {
 		objects:  make(map[string]DispatchFunc),
 		conns:    make(map[net.Conn]struct{}),
 		sessions: make(map[string]*clientSession),
+		clk:      clock.Real(),
 	}
-	s.epoch.Store(newEpoch())
+	s.epoch.Store(newEpoch(s.clk))
 	return s
+}
+
+// SetClock installs the server's time source; nil selects the wall clock.
+// Must be called before Listen — the serving goroutines capture it without
+// locking. The session epoch is re-minted on the new clock (no client can
+// have handshaken the old one yet).
+func (s *Server) SetClock(clk clock.Clock) {
+	s.clk = clock.Or(clk)
+	s.epoch.Store(newEpoch(s.clk))
 }
 
 // Export binds an object under a name (the registry's bind operation).
@@ -185,6 +207,13 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
+		if s.partitioned.Load() {
+			// Partitioned: the TCP level still answers (the host is up) but no
+			// session can form — accept and immediately close, so clients see
+			// a dial that succeeds and a handshake that fails.
+			conn.Close()
+			continue
+		}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -217,6 +246,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return // EOF or broken connection
 		}
+		if d := s.dispatchDelay.Load(); d > 0 {
+			s.clk.Sleep(time.Duration(d)) // injected slow link (see inject.go)
+		}
 		resp := s.handle(&req)
 		if err := enc.Encode(resp); err != nil {
 			return
@@ -228,7 +260,10 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 func (s *Server) handle(req *request) *response {
-	s.requests.Add(1)
+	total := s.requests.Add(1)
+	if s.hasWatches.Load() {
+		s.notifyRequestWatches(total)
+	}
 	if req.Hello { // session handshake: report the epoch, dispatch nothing
 		return &response{Bound: true, Epoch: s.epoch.Load()}
 	}
@@ -263,12 +298,12 @@ func (s *Server) handle(req *request) *response {
 	}
 	var start time.Time
 	if !req.OneWay {
-		start = time.Now()
+		start = s.clk.Now()
 	}
 	results, err := safeDispatch(dispatch, req.Method, req.Args)
 	resp := &response{Results: results, Bound: true}
 	if !req.OneWay {
-		resp.ServiceNs = time.Since(start).Nanoseconds()
+		resp.ServiceNs = s.clk.Since(start).Nanoseconds()
 	}
 	if req.OneWay {
 		resp.Results = nil // bare acknowledgement
@@ -367,9 +402,13 @@ func (s *Server) shutdown(abort bool) {
 		s.wg.Wait()
 		close(drained)
 	}()
+	// A stoppable timer, not time.After: the fast path (every clean shutdown)
+	// must not leave a 30s timer pinned in the runtime per server closed.
+	grace := s.clk.NewTimer(closeDrainGrace)
 	select {
 	case <-drained:
-	case <-time.After(closeDrainGrace):
+		grace.Stop()
+	case <-grace.C():
 		// The drain is stuck — abandon the wedged connections and wait for
 		// their serving goroutines to observe the forced close.
 		for _, c := range conns {
@@ -436,6 +475,9 @@ type Client struct {
 	policy  ReconnectPolicy // Reconnect's backoff schedule
 	session string          // session tag for tracked requests ("" = untracked)
 	epoch   atomic.Int64    // last handshaken server epoch (the request stamp)
+
+	clk     clock.Clock   // Reconnect's backoff waits ride this
+	closeCh chan struct{} // closed once by Close; aborts a backoff in flight
 }
 
 // Dial connects to an RMI server with the default send window.
@@ -445,10 +487,26 @@ func Dial(addr string) (*Client, error) {
 		return nil, fmt.Errorf("rmi: dial %s: %w", addr, err)
 	}
 	bw := bufio.NewWriter(conn)
-	c := &Client{addr: addr, conn: conn, bw: bw, enc: gob.NewEncoder(bw), windowSize: DefaultSendWindow}
+	c := &Client{
+		addr:       addr,
+		conn:       conn,
+		bw:         bw,
+		enc:        gob.NewEncoder(bw),
+		windowSize: DefaultSendWindow,
+		clk:        clock.Real(),
+		closeCh:    make(chan struct{}),
+	}
 	c.cond = sync.NewCond(&c.mu)
 	go c.readLoop(gob.NewDecoder(conn), 0)
 	return c, nil
+}
+
+// SetClock installs the time source Reconnect's backoff waits on; nil selects
+// the wall clock.
+func (c *Client) SetClock(clk clock.Clock) {
+	c.mu.Lock()
+	c.clk = clock.Or(clk)
+	c.mu.Unlock()
 }
 
 // SetSendWindow sets the flow-control window: the maximum number of one-way
@@ -469,7 +527,11 @@ func (c *Client) SetSendWindow(n int) {
 // A closed client stays closed: Reconnect refuses to revive it.
 func (c *Client) Close() error {
 	c.mu.Lock()
+	first := !c.userClosed
 	c.userClosed = true
+	if first && c.closeCh != nil {
+		close(c.closeCh) // aborts a Reconnect parked in its backoff
+	}
 	gen := c.gen
 	conn := c.conn
 	c.mu.Unlock()

@@ -5,10 +5,12 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync/atomic"
 	"time"
 
+	"aspectpar/internal/clock"
 	"aspectpar/internal/future"
 )
 
@@ -43,11 +45,27 @@ const staleSessionMsg = "rmi: stale session epoch"
 // epochSeq disambiguates servers created in the same nanosecond.
 var epochSeq atomic.Int64
 
-// newEpoch returns a fresh session epoch: unique within a process by the
-// counter, unique across processes (a restarted daemon on the same address)
-// by the wall clock.
-func newEpoch() int64 {
-	return time.Now().UnixNano() + epochSeq.Add(1)
+// newEpoch returns a fresh session epoch: the clock and a process-local
+// counter make it unique within a process and across restarts on one host;
+// the mixed-in random bits break the tie between incarnations started within
+// the clock's granularity on *different* hosts, where the counter cannot
+// help — without them two such incarnations could mint the same epoch and
+// defeat stale-epoch rejection (a replay meant for the dead twin would be
+// accepted by the live one).
+func newEpoch(clk clock.Clock) int64 {
+	return MixIdentity(clk.Now().UnixNano() + epochSeq.Add(1))
+}
+
+// MixIdentity folds 63 random bits into a clock+counter base so identity
+// values (session epochs, fault-layer nonces) stay unique even when base
+// collides across processes. Zero is reserved ("no epoch"), so it is never
+// returned.
+func MixIdentity(base int64) int64 {
+	for {
+		if id := base ^ rand.Int63(); id != 0 {
+			return id
+		}
+	}
 }
 
 // dedupeKeep bounds the per-client response cache: responses of the last
@@ -130,7 +148,7 @@ func (s *Server) Epoch() int64 { return s.epoch.Load() }
 // rejected as stale from here on. A node's reset rotates, so a replay racing
 // the reset cannot resurrect pre-reset state.
 func (s *Server) RotateEpoch() {
-	s.epoch.Store(newEpoch())
+	s.epoch.Store(newEpoch(s.clk))
 	s.mu.Lock()
 	s.sessions = make(map[string]*clientSession)
 	s.mu.Unlock()
@@ -171,7 +189,11 @@ type ReconnectPolicy struct {
 	DialTimeout time.Duration
 }
 
-func (p ReconnectPolicy) withDefaults() ReconnectPolicy {
+// WithDefaults returns the policy with every zero field replaced by its
+// documented default — the schedule Reconnect actually runs. Exported so
+// layers that must pace their own retries consistently with Reconnect (the
+// fault middleware's export-retry grace) can compute the same budget.
+func (p ReconnectPolicy) WithDefaults() ReconnectPolicy {
 	if p.MaxAttempts <= 0 {
 		p.MaxAttempts = 5
 	}
@@ -239,9 +261,11 @@ func (c *Client) Reconnect() (sameEpoch bool, err error) {
 		c.mu.Unlock()
 		return false, ErrClosed
 	}
-	pol := c.policy.withDefaults()
+	pol := c.policy.WithDefaults()
 	prev := c.epoch.Load()
 	gen := c.gen
+	clk := c.clk
+	closeCh := c.closeCh
 	c.mu.Unlock()
 	// A Reconnect on a still-healthy connection (a caller that detected the
 	// failure out of band) drains it first, so no pending entry is orphaned
@@ -252,7 +276,17 @@ func (c *Client) Reconnect() (sameEpoch bool, err error) {
 	backoff := pol.BaseBackoff
 	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
+			// The backoff must be interruptible: a recovery loop parked here
+			// when the middleware shuts down would otherwise pin Close for the
+			// rest of the schedule (up to the full attempt budget of MaxBackoff
+			// waits). Park on a stoppable timer and race it against Close.
+			t := clk.NewTimer(backoff)
+			select {
+			case <-closeCh:
+				t.Stop()
+				return false, ErrClosed
+			case <-t.C():
+			}
 			backoff *= 2
 			if backoff > pol.MaxBackoff {
 				backoff = pol.MaxBackoff

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"aspectpar/internal/clock"
 	"aspectpar/internal/exec"
 	"aspectpar/internal/par"
 	"aspectpar/internal/rmi"
@@ -45,6 +46,7 @@ func chaosSeed(t *testing.T) int64 {
 // PrimeFilter, each on its own fresh domain.
 type chaosNodes struct {
 	t     *testing.T
+	clk   clock.Clock // nil keeps the wall clock
 	addrs []string
 
 	mu    sync.Mutex
@@ -53,9 +55,20 @@ type chaosNodes struct {
 
 func startChaosNodes(t *testing.T, count int) *chaosNodes {
 	t.Helper()
-	c := &chaosNodes{t: t}
+	return startChaosNodesClock(t, count, nil)
+}
+
+// startChaosNodesClock is startChaosNodes with every node daemon (including
+// later crash-restarted incarnations) on clk, so injected delays and drain
+// windows run in virtual time.
+func startChaosNodesClock(t *testing.T, count int, clk clock.Clock) *chaosNodes {
+	t.Helper()
+	c := &chaosNodes{t: t, clk: clk}
 	for i := 0; i < count; i++ {
 		node := rmi.NewNode(exec.Real())
+		if clk != nil {
+			node.SetClock(clk)
+		}
 		par.HostClass(node, DefineClass(par.NewDomain()))
 		addr, err := node.Listen("127.0.0.1:0")
 		if err != nil {
@@ -89,6 +102,9 @@ func (c *chaosNodes) crashRestart(i int) error {
 	c.mu.Unlock()
 	old.Abort()
 	node := rmi.NewNode(exec.Real())
+	if c.clk != nil {
+		node.SetClock(c.clk)
+	}
 	par.HostClass(node, DefineClass(par.NewDomain()))
 	var err error
 	for attempt := 0; attempt < 50; attempt++ {
@@ -106,22 +122,18 @@ func (c *chaosNodes) crashRestart(i int) error {
 	return nil
 }
 
-// watchAndKill polls the victim's request counter and crash-restarts it once
-// it has served killAt requests. It reports through killed whether the kill
-// fired before stop closed.
+// watchAndKill crash-restarts the victim the moment it has served killAt
+// requests — an event fired by the server's own dispatch loop, not a polled
+// counter, so the kill lands at the same request boundary on every run. It
+// reports through killed whether the kill fired before stop closed.
 func (c *chaosNodes) watchAndKill(victim int, killAt int64, stop <-chan struct{}, killed *atomic.Bool) {
-	for {
-		select {
-		case <-stop:
-			return
-		case <-time.After(200 * time.Microsecond):
-		}
-		if c.node(victim).Requests() >= killAt {
-			if err := c.crashRestart(victim); err == nil {
-				killed.Store(true)
-			}
-			return
-		}
+	select {
+	case <-stop:
+		return
+	case <-c.node(victim).WatchRequests(killAt):
+	}
+	if err := c.crashRestart(victim); err == nil {
+		killed.Store(true)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"aspectpar/internal/aspect"
+	"aspectpar/internal/clock"
 	"aspectpar/internal/cluster"
 	"aspectpar/internal/exec"
 	"aspectpar/internal/par"
@@ -294,6 +295,12 @@ type Params struct {
 	// reconstruction after a node restart, placement failover off dead
 	// nodes (see par.FaultPolicy). Zero keeps the fail-fast transport.
 	Faults par.FaultPolicy
+	// Clock overrides the time source of a DistNet run's middleware and
+	// owned node daemons — reconnect backoffs, retry graces, drain windows
+	// and RTT stamps all ride it. Nil keeps the wall clock; the virtual-time
+	// chaos harness installs a clock.Virtual so failure schedules run in
+	// seeded virtual time.
+	Clock clock.Clock
 }
 
 // PaperParams returns the evaluation parameters of Section 6.
@@ -509,6 +516,9 @@ func startNetEnv(p Params) (*netEnv, error) {
 		}
 		for i := 0; i < count; i++ {
 			node := rmi.NewNode(exec.Real())
+			if p.Clock != nil {
+				node.SetClock(p.Clock)
+			}
 			par.HostClass(node, DefineClass(par.NewDomain()))
 			addr, err := node.Listen("127.0.0.1:0")
 			if err != nil {
@@ -520,6 +530,11 @@ func startNetEnv(p Params) (*netEnv, error) {
 		}
 	}
 	env.mw = par.NewNetRMI(par.NetAddressTable(addrs...))
+	if p.Clock != nil {
+		// Before SetFaultPolicy: the fault layer mints its session nonce on
+		// the middleware's clock.
+		env.mw.SetClock(p.Clock)
+	}
 	if p.Faults.Enabled {
 		env.mw.SetFaultPolicy(p.Faults)
 	}
