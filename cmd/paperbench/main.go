@@ -6,6 +6,13 @@
 //	paperbench [-exp table1|fig16|fig17|packing|imbalance|schedule|all]
 //	           [-max N] [-packs N] [-runs N] [-filters 1,4,7,10,13,16]
 //	           [-skew F] [-window N] [-json FILE]
+//	paperbench -net-throughput [-net-calls N] [-net-payload N] [-net-window N]
+//	           [-net-streams N] [-runs N] [-json FILE]
+//
+// -net-throughput switches to the wall-clock transport sweep: windowed calls
+// over loopback NetRMI, the wire-speed configuration (binary codec,
+// multiplexed streams) against the gob/FIFO baseline; benchdiff -throughput
+// gates the recorded rates.
 //
 // The defaults are the paper's parameters: maximum prime 10,000,000, 50
 // messages, filter counts 1..16, median of 5 runs. -json appends the
@@ -36,8 +43,36 @@ func main() {
 		window   = flag.Int("window", 0, "dispatch window of the self-scheduling farms (0 = default, 1 = synchronous)")
 		autotune = flag.Bool("autotune", false, "switch on the online tuning controllers (tuned cells record as tuned twins)")
 		jsonPath = flag.String("json", "", "append measured points to this JSON record file")
+
+		netThroughput = flag.Bool("net-throughput", false, "measure wall-clock transport throughput over loopback NetRMI (binary+streams vs gob baseline) instead of the virtual-time experiments")
+		netCalls      = flag.Int("net-calls", 20_000, "windowed calls per net-throughput cell")
+		netPayload    = flag.Int("net-payload", 512, "[]int32 elements per net-throughput call")
+		netWindow     = flag.Int("net-window", 64, "in-flight calls of the net-throughput driver")
+		netStreams    = flag.Int("net-streams", 3, "streams of the net-throughput wire-speed cell")
 	)
 	flag.Parse()
+
+	if *netThroughput {
+		var points []bench.ThroughputPoint
+		for _, cfg := range bench.ThroughputConfigs(*netStreams) {
+			pt, err := bench.NetThroughput(cfg, *netCalls, *netPayload, *netWindow, *runs)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: net-throughput %s: %v\n", cfg.Series, err)
+				os.Exit(1)
+			}
+			points = append(points, pt)
+		}
+		fmt.Print(bench.FormatThroughput(points))
+		if *jsonPath != "" {
+			entries := bench.ThroughputEntries(points)
+			if err := bench.MergeInto(*jsonPath, entries); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\nwrote %d measured points to %s\n", len(entries), *jsonPath)
+		}
+		return
+	}
 
 	counts, err := parseCounts(*filters)
 	if err != nil {

@@ -13,6 +13,10 @@
 // comma-separated address list to -net; address i plays cluster node i for
 // the Placement policies. The daemon serves successive runs: the driver
 // resets its bindings (par.NetRMI.Reset) before reusing object names.
+//
+// -codecs restricts the wire formats this node negotiates; mixed clusters
+// work because every client falls back per connection to a codec the node
+// accepts (gob is the universal fallback).
 package main
 
 import (
@@ -34,10 +38,30 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", "127.0.0.1:0", "TCP address to serve on (port 0 picks a free one)")
-		drill = flag.Int("drill-crash", 0, "crash-and-restart drill: abort the node after every N served requests and restart a fresh incarnation (new session epoch, empty registry) on the same address — pair with a fault-tolerant driver (sieve -faults) to watch it ride through (0 = off)")
+		addr   = flag.String("addr", "127.0.0.1:0", "TCP address to serve on (port 0 picks a free one)")
+		codecs = flag.String("codecs", "", "comma-separated wire codecs this node accepts (binary,gob; empty = all built-ins). -codecs gob emulates an old node: binary-preferring clients fall back per connection")
+		drill  = flag.Int("drill-crash", 0, "crash-and-restart drill: abort the node after every N served requests and restart a fresh incarnation (new session epoch, empty registry) on the same address — pair with a fault-tolerant driver (sieve -faults) to watch it ride through (0 = off)")
 	)
 	flag.Parse()
+
+	var nodeOpts []rmi.Option
+	if *codecs != "" {
+		var cs []rmi.Codec
+		for _, name := range strings.Split(*codecs, ",") {
+			if name = strings.TrimSpace(name); name == "" {
+				continue
+			}
+			c, err := rmi.CodecByName(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rminode:", err)
+				os.Exit(2)
+			}
+			cs = append(cs, c)
+		}
+		if len(cs) > 0 {
+			nodeOpts = append(nodeOpts, rmi.WithCodecs(cs...))
+		}
+	}
 
 	// Each hosted class lives in this process's own domain — the server side
 	// of the distribution seam. No modules are plugged: placed objects run
@@ -45,7 +69,7 @@ func main() {
 	// per-connection serial dispatch of the transport.
 	makeNode := func() *rmi.Node {
 		dom := par.NewDomain()
-		node := rmi.NewNode(exec.Real())
+		node := rmi.NewNode(exec.Real(), nodeOpts...)
 		par.HostClass(node, sieve.DefineClass(dom))
 		par.HostClass(node, mandel.DefineClass(dom))
 		return node

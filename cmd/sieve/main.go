@@ -6,7 +6,7 @@
 //
 //	sieve [-variant Seq|FarmThreads|PipeRMI|FarmRMI|FarmDRMI|FarmMPP|FarmStealing|HandPipeRMI]
 //	      [-filters N] [-max N] [-packs N] [-skew F] [-window N] [-verify]
-//	      [-net addr1,addr2,...]
+//	      [-net addr1,addr2,...] [-codec gob|binary] [-streams N]
 package main
 
 import (
@@ -31,6 +31,8 @@ func main() {
 		tune    = flag.Bool("autotune", false, "switch on the online tuning controllers (window depth, pack chunking, placement-aware stealing)")
 		faults  = flag.Bool("faults", false, "with -net: enable fault tolerance — journaled calls, reconnect/replay across node crashes, placement failover (kill an rminode mid-run and watch the farm finish)")
 		netList = flag.String("net", "", "comma-separated rminode addresses: run the variant's cell over the real TCP middleware instead of the simulated testbed")
+		codec   = flag.String("codec", "", "with -net: wire codec to offer in the handshake (gob or binary; empty = default preference order, gob fallback for old nodes)")
+		streams = flag.Int("streams", 0, "with -net: multiplexed request streams per peer connection (<2 = single pipelined lane)")
 		verify  = flag.Bool("verify", false, "cross-check primes against a sequential sieve of Eratosthenes")
 	)
 	flag.Parse()
@@ -50,6 +52,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sieve: -faults only applies to -net runs (the simulated middlewares model no transport failures)")
 		os.Exit(2)
 	}
+	if (*codec != "" || *streams > 1) && !overWire {
+		fmt.Fprintln(os.Stderr, "sieve: -codec and -streams only apply to -net runs (the simulated middlewares have no wire format)")
+		os.Exit(2)
+	}
 	if overWire {
 		c, ok := sieve.ComboOf(sieve.Variant(*variant))
 		if !ok || c.Distribution == sieve.DistNone {
@@ -60,6 +66,8 @@ func main() {
 		if *faults {
 			p.Faults = par.FaultPolicy{Enabled: true}
 		}
+		p.NetCodec = *codec
+		p.NetStreams = *streams
 		for _, a := range strings.Split(*netList, ",") {
 			if a = strings.TrimSpace(a); a != "" {
 				p.NetAddrs = append(p.NetAddrs, a)

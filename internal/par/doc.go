@@ -192,8 +192,9 @@
 // # Failure handling (fault-tolerant NetRMI)
 //
 // The behaviour above is fail-fast: one lost connection poisons its peer's
-// window permanently. [FaultPolicy] ([NetRMI.SetFaultPolicy], netfault.go)
-// turns on the resilience layer for long-lived deployments; the zero value
+// window permanently. [FaultPolicy] ([WithFaultPolicy] at [DialNet],
+// netfault.go) turns on the resilience layer for long-lived deployments;
+// the zero value
 // keeps every dispatch path bit-identical to fail-fast. Three mechanisms
 // compose, each building on the session layer package rmi provides (epoch
 // handshakes, session-tracked requests, server-side at-most-once dedupe):
@@ -251,14 +252,55 @@
 // Every timed decision the fault layer makes — the reconnect backoff
 // schedule, the export-retry pacing, a server's close-drain grace, the RTT
 // stamped into completions — rides a [clock.Clock] seam rather than the
-// package time globals. [NetRMI.SetClock] (called before SetFaultPolicy
-// and the first dial; the session nonce mints on it) threads one clock
-// through the middleware, its clients and, via rmi.Server.SetClock, the
-// node daemons. The zero-config default is the wall clock, bit-identical
-// to the pre-seam behaviour; installing a clock.Virtual puts every backoff
-// and grace window under test control, which is what makes the chaos
-// scenario matrix deterministic: failure scripts are pure functions of a
-// seed, armed by request-count watermarks (rmi.Server.WatchRequests) and
-// paced by the virtual clock's auto-advance pump instead of wall-clock
-// sleeps.
+// package time globals. [WithNetClock] threads one clock through the
+// middleware, its clients and, via rmi.WithClock, the node daemons. The
+// zero-config default is the wall clock, bit-identical to the pre-seam
+// behaviour; installing a clock.Virtual puts every backoff and grace window
+// under test control, which is what makes the chaos scenario matrix
+// deterministic: failure scripts are pure functions of a seed, armed by
+// request-count watermarks (rmi.Server.WatchRequests) and paced by the
+// virtual clock's auto-advance pump instead of wall-clock sleeps.
+//
+// [DialNet] is the configuration seam for all of the above: it fixes the
+// clock, fault policy, codec preference and stream count as functional
+// options before dialing any node, removing the call-order invariant the
+// deprecated setters (NetRMI.SetClock before NetRMI.SetFaultPolicy before
+// the first dial) used to impose. The setters remain as shims for existing
+// callers; new code passes options.
+//
+// # Wire format & streams
+//
+// Package rmi frames every request and response through a negotiated
+// [rmi.Codec]. The client offers its preference list in the Hello
+// handshake (binary first, then gob); the server answers with the first
+// offer it accepts, and both ends switch encodings after the hello
+// exchange — per connection, so a mixed cluster of new and old nodes works
+// without configuration: connections to a gob-only node silently run gob
+// while the rest of the farm runs binary. [WithCodec] (par) and
+// rmi.WithCodec pin the client offer; rmi.WithCodecs restricts what a node
+// accepts.
+//
+// The compact binary codec frames a uvarint body length, a frame kind and
+// flag byte, then fixed-width little-endian fields — no per-frame type
+// dictionary, so an []int32 pack costs 4 bytes per element on the wire
+// where gob re-transmits varint-encoded values. Values outside the
+// fast-path kinds carry a tagged gob payload, keeping the codecs
+// value-equivalent (pinned by round-trip fuzz tests and a mixed-codec
+// conformance cell). Writes coalesce: the client's send path batches the
+// frames queued behind one flush into a single buffered write, so a
+// windowed dispatcher's burst of packs pays one syscall, not Window of
+// them.
+//
+// One TCP connection multiplexes N request streams ([WithStreams],
+// rmi.Stub.OnStream). Streams are FIFO lanes: the server dispatches each
+// stream's requests in send order on its own lane, so two objects bound to
+// different streams no longer head-of-line block each other while sharing
+// the connection, its codec and its send window. Stream 0 is the control
+// lane (exports, resets, legacy single-lane traffic). NetRMI assigns
+// exported objects to streams round-robin; the fault layer journals,
+// dedupes and replays per (stream, sequence) — a reconnect or
+// reincarnation replays every stream's unacknowledged tail in stream order
+// with per-stream sequence spaces intact, and a failed-over object keeps
+// its stream on the new peer. The zero value (streams < 2) keeps the
+// single pipelined lane, bit-identical to the pre-stream wire protocol.
 package par

@@ -170,6 +170,7 @@ const (
 // makes replay after a connection loss possible at all.
 type netCall struct {
 	seq      uint64
+	stream   uint32 // dispatch stream the call rides: its seq space and dedupe key
 	ref      *NetRef
 	method   string
 	args     []any
@@ -181,18 +182,33 @@ type netCall struct {
 	deliver func(res []any, service time.Duration, err error)
 }
 
-// peerFault is one peer's journal and recovery state.
+// peerFault is one peer's recovery state plus its per-stream journals.
+// Recovery (reconnect, reincarnation, failover) is a connection-level event
+// and stays per peer; the journal — seq space, in-flight set, replay order —
+// is per stream, because that is the server's dedupe granularity: sessions
+// key on (client, stream) and each stream carries its own FIFO seq space.
 type peerFault struct {
-	// sendMu serialises this peer's tagged posts, so its wire order always
-	// equals its sequence order — the invariant the server's max-applied
-	// dedupe rests on. Per peer, not per middleware: one peer's full send
-	// window must not stall submissions to the others. Held only across
-	// seq assignment + post, never across a response wait; always acquired
-	// before fa.mu, never while holding it.
+	node  exec.NodeID
+	state int
+
+	// journals maps stream id → that stream's journal. Stream 0 is the
+	// control lane (exports, resets); objects multiplexed across streams
+	// 1..n each journal on their own. Guarded by fa.mu; created lazily.
+	journals map[uint32]*streamJournal
+}
+
+// streamJournal is one stream's half of the session contract with the node:
+// its sequence counter, the unacknowledged calls, and their submission
+// order (= replay order).
+type streamJournal struct {
+	// sendMu serialises this stream's tagged posts, so the stream's wire
+	// order always equals its sequence order — the invariant the server's
+	// per-stream dedupe rests on. Per stream, not per peer: a full send
+	// window on one stream must not stall submissions on the others. Held
+	// only across seq assignment + post, never across a response wait;
+	// always acquired before fa.mu, never while holding it.
 	sendMu sync.Mutex
 
-	node     exec.NodeID
-	state    int
 	nextSeq  uint64
 	inflight map[uint64]*netCall
 	order    []uint64 // seqs in submission order (replay order)
@@ -206,6 +222,7 @@ type netExport struct {
 	name     string
 	class    *Class
 	node     exec.NodeID
+	stream   uint32 // dispatch stream the object's calls ride; kept across failover
 	ctorArgs []any
 	history  []histEntry
 	dead     bool
@@ -279,10 +296,28 @@ func (fa *netFaults) stats() FaultStats {
 func (fa *netFaults) peerLocked(node exec.NodeID) *peerFault {
 	pf := fa.peers[node]
 	if pf == nil {
-		pf = &peerFault{node: node, inflight: make(map[uint64]*netCall)}
+		pf = &peerFault{node: node, journals: make(map[uint32]*streamJournal)}
 		fa.peers[node] = pf
 	}
 	return pf
+}
+
+// journalLocked returns stream's journal on pf, creating it lazily. fa.mu
+// held.
+func (fa *netFaults) journalLocked(pf *peerFault, stream uint32) *streamJournal {
+	sj := pf.journals[stream]
+	if sj == nil {
+		sj = &streamJournal{inflight: make(map[uint64]*netCall)}
+		pf.journals[stream] = sj
+	}
+	return sj
+}
+
+// journalOf returns stream's journal on node's peer. fa.mu must NOT be held.
+func (fa *netFaults) journalOf(node exec.NodeID, stream uint32) *streamJournal {
+	fa.mu.Lock()
+	defer fa.mu.Unlock()
+	return fa.journalLocked(fa.peerLocked(node), stream)
 }
 
 // stale reports whether gen no longer names the live generation.
@@ -292,11 +327,13 @@ func (fa *netFaults) stale(gen int64) bool {
 	return gen != fa.gen || fa.closed
 }
 
-// trackExport records a fresh export's re-creation recipe.
-func (fa *netFaults) trackExport(ref *NetRef, class *Class, ctorArgs []any) {
+// trackExport records a fresh export's re-creation recipe, including the
+// dispatch stream its calls ride (preserved across reincarnation/failover,
+// so a replayed call carries the same (stream, seq) dedupe key shape).
+func (fa *netFaults) trackExport(ref *NetRef, class *Class, ctorArgs []any, stream uint32) {
 	fa.mu.Lock()
 	fa.exports[ref] = &netExport{
-		ref: ref, name: ref.Name, class: class, node: ref.Node,
+		ref: ref, name: ref.Name, class: class, node: ref.Node, stream: stream,
 		ctorArgs: append([]any(nil), ctorArgs...),
 	}
 	fa.mu.Unlock()
@@ -392,36 +429,40 @@ func (fa *netFaults) submit(call *netCall) {
 			return
 		}
 		node := exp.node
+		stream := exp.stream
 		pf := fa.peerLocked(node)
+		sj := fa.journalLocked(pf, stream)
 		fa.mu.Unlock()
 
-		pf.sendMu.Lock()
+		sj.sendMu.Lock()
 		fa.mu.Lock()
 		if fa.exports[call.ref] != exp || exp.dead || exp.node != node {
 			// The placement moved (failover) or the journal generation ended
-			// while we queued for the peer's send slot: resolve again.
+			// while we queued for the stream's send slot: resolve again.
 			fa.mu.Unlock()
-			pf.sendMu.Unlock()
+			sj.sendMu.Unlock()
 			continue
 		}
 		if pf.state == pfDead {
 			fa.mu.Unlock()
-			pf.sendMu.Unlock()
+			sj.sendMu.Unlock()
 			fa.deliverOrphan(call, node, errPeerLost)
 			return
 		}
-		pf.nextSeq++
-		call.seq = pf.nextSeq
-		pf.inflight[call.seq] = call
-		pf.order = append(pf.order, call.seq)
+		sj.nextSeq++
+		call.seq = sj.nextSeq
+		call.stream = stream
+		sj.inflight[call.seq] = call
+		sj.order = append(sj.order, call.seq)
 		recovering := pf.state == pfRecovering
 		gen := fa.gen
 		fa.mu.Unlock()
 		if !recovering {
-			// Transmit inside the peer's send section: wire order == seq order.
+			// Transmit inside the stream's send section: the stream's wire
+			// order == its seq order.
 			fa.transmit(pf, call, gen)
-		} // else: the recovery loop drains the journal, this entry included
-		pf.sendMu.Unlock()
+		} // else: the recovery loop drains the journals, this entry included
+		sj.sendMu.Unlock()
 		return
 	}
 }
@@ -469,9 +510,10 @@ func (fa *netFaults) onOutcome(pf *peerFault, call *netCall, gen int64, res []an
 	// what the journal + server-side dedupe exist to disambiguate.
 	fa.mu.Lock()
 	if gen != fa.gen || fa.closed {
-		live := pf.inflight[call.seq] == call
+		sj := pf.journals[call.stream]
+		live := sj != nil && sj.inflight[call.seq] == call
 		if live {
-			fa.dropLocked(pf, call.seq)
+			dropLocked(sj, call.seq)
 		}
 		fa.mu.Unlock()
 		if live {
@@ -501,11 +543,12 @@ func isExecuted(err error) bool {
 // already settled elsewhere (reset drain, close) is left alone.
 func (fa *netFaults) settle(pf *peerFault, call *netCall, res []any, svc time.Duration, err error) {
 	fa.mu.Lock()
-	if pf.inflight[call.seq] != call {
+	sj := pf.journals[call.stream]
+	if sj == nil || sj.inflight[call.seq] != call {
 		fa.mu.Unlock()
 		return
 	}
-	fa.dropLocked(pf, call.seq)
+	dropLocked(sj, call.seq)
 	if err == nil {
 		if exp := fa.exports[call.ref]; exp != nil && !exp.dead {
 			exp.history = append(exp.history, histEntry{method: call.method, args: call.args})
@@ -516,12 +559,12 @@ func (fa *netFaults) settle(pf *peerFault, call *netCall, res []any, svc time.Du
 	fa.finish(call, res, svc, err)
 }
 
-// dropLocked removes seq from pf's journal. fa.mu held.
-func (fa *netFaults) dropLocked(pf *peerFault, seq uint64) {
-	delete(pf.inflight, seq)
-	for i, s := range pf.order {
+// dropLocked removes seq from one stream's journal. fa.mu held.
+func dropLocked(sj *streamJournal, seq uint64) {
+	delete(sj.inflight, seq)
+	for i, s := range sj.order {
 		if s == seq {
-			pf.order = append(pf.order[:i], pf.order[i+1:]...)
+			sj.order = append(sj.order[:i], sj.order[i+1:]...)
 			break
 		}
 	}
@@ -593,14 +636,15 @@ func (fa *netFaults) recover(pf *peerFault, gen int64) {
 	fa.failPeer(pf, gen)
 }
 
-// replayJournal drains the peer's journal in submission order, replaying
-// each entry synchronously — with its original sequence number after a
-// same-epoch reconnect, so the server's dedupe absorbs already-applied
+// replayJournal drains the peer's stream journals — streams in ascending id,
+// each stream's entries in submission order — replaying each entry
+// synchronously: with its original (stream, seq) after a same-epoch
+// reconnect, so the server's per-stream dedupe absorbs already-applied
 // calls; with fresh sequence numbers against a new incarnation, whose
 // sessions started empty. Under RequeueOrphans, a new incarnation's
 // windowed entries are handed back to the scheduler instead of replayed.
 // Entries submitted while recovery runs are part of the same drain. When
-// the journal is empty the peer is healed atomically; a transport failure
+// every journal is empty the peer is healed atomically; a transport failure
 // mid-replay returns false and the caller starts another round.
 func (fa *netFaults) replayJournal(pf *peerFault, gen int64, sameEpoch bool) bool {
 	requeue := !sameEpoch && fa.policy.RequeueOrphans
@@ -610,20 +654,30 @@ func (fa *netFaults) replayJournal(pf *peerFault, gen int64, sameEpoch bool) boo
 			fa.mu.Unlock()
 			return false
 		}
-		if len(pf.order) == 0 {
+		// Lowest non-empty stream first: a deterministic drain order, with the
+		// control lane (stream 0) replayed ahead of object traffic.
+		var sj *streamJournal
+		found := false
+		var stream uint32
+		for id, j := range pf.journals {
+			if len(j.order) > 0 && (!found || id < stream) {
+				sj, stream, found = j, id, true
+			}
+		}
+		if !found {
 			pf.state = pfHealthy
 			fa.cond.Broadcast()
 			fa.mu.Unlock()
 			return true
 		}
-		seq := pf.order[0]
-		call := pf.inflight[seq]
+		seq := sj.order[0]
+		call := sj.inflight[seq]
 		fa.mu.Unlock()
 		if requeue && call.windowed && call.deliver != nil {
 			fa.mu.Lock()
-			live := pf.inflight[seq] == call
+			live := sj.inflight[seq] == call
 			if live {
-				fa.dropLocked(pf, seq)
+				dropLocked(sj, seq)
 			}
 			fa.cond.Broadcast()
 			fa.mu.Unlock()
@@ -639,7 +693,7 @@ func (fa *netFaults) replayJournal(pf *peerFault, gen int64, sameEpoch bool) boo
 		if sameEpoch {
 			fixed = seq
 		}
-		res, svc, err := fa.replayOnce(call, fixed, pf)
+		res, svc, err := fa.replayOnce(call, fixed, sj)
 		if err != nil && !isExecuted(err) && !errors.Is(err, rmi.ErrStaleSession) {
 			return false // transport failure: next round reconnects again
 		}
@@ -654,11 +708,11 @@ func (fa *netFaults) replayJournal(pf *peerFault, gen int64, sameEpoch bool) boo
 // replayOnce re-executes one journaled call synchronously over the (just
 // reconnected) transport. Either the original sequence number is reused
 // (fixed, same-epoch replay) or a fresh one is drawn from wire's counter;
-// in both cases allocation and post share wire's send section — wire order
-// equals sequence order even when healthy submissions to the same peer (a
-// failover target carrying live traffic) interleave — while the response
-// wait happens outside it.
-func (fa *netFaults) replayOnce(call *netCall, fixed uint64, wire *peerFault) ([]any, time.Duration, error) {
+// in both cases allocation and post share the stream journal's send section
+// — the stream's wire order equals its sequence order even when healthy
+// submissions to the same stream (a failover target carrying live traffic)
+// interleave — while the response wait happens outside it.
+func (fa *netFaults) replayOnce(call *netCall, fixed uint64, wire *streamJournal) ([]any, time.Duration, error) {
 	stub, err := fa.m.stubOf(call.method, call.ref)
 	if err != nil {
 		return nil, 0, err
@@ -713,9 +767,9 @@ func (fa *netFaults) reincarnate(pf *peerFault, gen int64, target exec.NodeID) b
 // history there; on success the object's placement (registry, stubs, the
 // export record) is remapped.
 func (fa *netFaults) reexport(exp *netExport, tp *netPeer, target exec.NodeID, gen int64) bool {
-	tpf := fa.seqSource(target)
+	ctl := fa.journalOf(target, 0) // creation rides the control lane
 	ctlArgs := append([]any{exp.class.Name(), exp.name}, exp.ctorArgs...)
-	if _, _, err := fa.ctlCall(tp, tpf, 0, rmi.CtlExportNew, ctlArgs); err != nil {
+	if _, _, err := fa.ctlCall(tp, ctl, 0, rmi.CtlExportNew, ctlArgs); err != nil {
 		if isExecuted(err) {
 			// The node answered but refused — it does not host the class, or
 			// the name is taken: nowhere to rebuild this object.
@@ -729,25 +783,31 @@ func (fa *netFaults) reexport(exp *netExport, tp *netPeer, target exec.NodeID, g
 	if err != nil {
 		return false
 	}
+	if exp.stream != 0 {
+		// The object keeps its dispatch stream across incarnations, so every
+		// replayed and future call carries the same (stream, seq) key shape.
+		stub = stub.OnStream(exp.stream)
+	}
 	fa.m.remap(exp.ref, stub, target)
 	fa.mu.Lock()
 	exp.node = target
 	history := append([]histEntry(nil), exp.history...)
 	fa.mu.Unlock()
 	fa.failovers.Add(1)
+	tsj := fa.journalOf(target, exp.stream)
 	for _, h := range history {
 		if fa.stale(gen) {
 			return false
 		}
 		type out struct{ err error }
 		ch := make(chan out, 1)
-		tpf.sendMu.Lock()
+		tsj.sendMu.Lock()
 		fa.mu.Lock()
-		tpf.nextSeq++
-		seq := tpf.nextSeq
+		tsj.nextSeq++
+		seq := tsj.nextSeq
 		fa.mu.Unlock()
 		stub.InvokeSeq(h.method, seq, func(_ []any, _ time.Duration, err error) { ch <- out{err} }, h.args...)
-		tpf.sendMu.Unlock()
+		tsj.sendMu.Unlock()
 		if o := <-ch; o.err != nil {
 			if isExecuted(o.err) {
 				// The original application succeeded, the reconstruction did
@@ -762,37 +822,30 @@ func (fa *netFaults) reexport(exp *netExport, tp *netPeer, target exec.NodeID, g
 	return true
 }
 
-// seqSource returns the peerFault whose sequence counter tags calls to
-// node's session.
-func (fa *netFaults) seqSource(node exec.NodeID) *peerFault {
-	fa.mu.Lock()
-	defer fa.mu.Unlock()
-	return fa.peerLocked(node)
-}
-
-// ctlCall runs one session-tracked control call synchronously; seq
-// assignment and post share one sendMu section, keeping wire order equal to
-// sequence order. A non-zero seq is reused verbatim — an export retried
-// across a recovery must replay the SAME sequence number, so a first
-// attempt that was applied before its acknowledgement was lost dedupes
-// instead of failing with a duplicate binding. The seq used is returned.
-func (fa *netFaults) ctlCall(p *netPeer, pf *peerFault, seq uint64, verb string, args []any) (uint64, []any, error) {
+// ctlCall runs one session-tracked control call synchronously on the
+// control lane (stream 0); seq assignment and post share one sendMu
+// section, keeping wire order equal to sequence order. A non-zero seq is
+// reused verbatim — an export retried across a recovery must replay the
+// SAME sequence number, so a first attempt that was applied before its
+// acknowledgement was lost dedupes instead of failing with a duplicate
+// binding. The seq used is returned.
+func (fa *netFaults) ctlCall(p *netPeer, sj *streamJournal, seq uint64, verb string, args []any) (uint64, []any, error) {
 	type out struct {
 		res []any
 		err error
 	}
 	ch := make(chan out, 1)
-	pf.sendMu.Lock()
+	sj.sendMu.Lock()
 	if seq == 0 {
 		fa.mu.Lock()
-		pf.nextSeq++
-		seq = pf.nextSeq
+		sj.nextSeq++
+		seq = sj.nextSeq
 		fa.mu.Unlock()
 	}
 	p.ctl.InvokeSeq(verb, seq, func(res []any, _ time.Duration, err error) {
 		ch <- out{res, err}
 	}, args...)
-	pf.sendMu.Unlock()
+	sj.sendMu.Unlock()
 	o := <-ch
 	return seq, o.res, o.err
 }
@@ -826,7 +879,7 @@ func (fa *netFaults) exportNew(node exec.NodeID, name string, ctlArgs []any) (*r
 			}
 			continue
 		}
-		pf := fa.seqSource(node)
+		ctl := fa.journalOf(node, 0)
 		// Seq reuse is a same-incarnation contract: against a fresh epoch
 		// there is nothing to dedupe (the first attempt's application died
 		// with the node), and the recovery's own reincarnation calls have
@@ -835,7 +888,7 @@ func (fa *netFaults) exportNew(node exec.NodeID, name string, ctlArgs []any) (*r
 		if ep := p.client.Epoch(); ep != seqEpoch {
 			seq, seqEpoch = 0, ep
 		}
-		seq, _, err = fa.ctlCall(p, pf, seq, rmi.CtlExportNew, ctlArgs)
+		seq, _, err = fa.ctlCall(p, ctl, seq, rmi.CtlExportNew, ctlArgs)
 		if err == nil {
 			stub, lerr := p.client.Lookup(name)
 			if lerr == nil {
@@ -954,32 +1007,40 @@ func (fa *netFaults) pickTargetNode(dead exec.NodeID) (exec.NodeID, bool) {
 	return 0, false
 }
 
-// redirectJournal replays the lost peer's journal against the failover
-// target (the objects were just rebuilt there); windowed entries requeue
-// instead when the policy says so. On success the peer is left dead with an
-// empty journal — no survivor work remains.
+// redirectJournal replays the lost peer's journals against the failover
+// target (the objects were just rebuilt there) — streams ascending, each in
+// submission order, every call keeping its stream on the target; windowed
+// entries requeue instead when the policy says so. On success the peer is
+// left dead with empty journals — no survivor work remains.
 func (fa *netFaults) redirectJournal(pf *peerFault, gen int64, target exec.NodeID) bool {
-	tpf := fa.seqSource(target)
 	for {
 		fa.mu.Lock()
 		if gen != fa.gen || fa.closed {
 			fa.mu.Unlock()
 			return false
 		}
-		if len(pf.order) == 0 {
+		var sj *streamJournal
+		found := false
+		var stream uint32
+		for id, j := range pf.journals {
+			if len(j.order) > 0 && (!found || id < stream) {
+				sj, stream, found = j, id, true
+			}
+		}
+		if !found {
 			pf.state = pfDead
 			fa.cond.Broadcast()
 			fa.mu.Unlock()
 			return true
 		}
-		seq := pf.order[0]
-		call := pf.inflight[seq]
+		seq := sj.order[0]
+		call := sj.inflight[seq]
 		fa.mu.Unlock()
 		if fa.policy.RequeueOrphans && call.windowed && call.deliver != nil {
 			fa.mu.Lock()
-			live := pf.inflight[seq] == call
+			live := sj.inflight[seq] == call
 			if live {
-				fa.dropLocked(pf, seq)
+				dropLocked(sj, seq)
 			}
 			fa.cond.Broadcast()
 			fa.mu.Unlock()
@@ -988,7 +1049,7 @@ func (fa *netFaults) redirectJournal(pf *peerFault, gen int64, target exec.NodeI
 			}
 			continue
 		}
-		res, svc, err := fa.replayOnce(call, 0, tpf)
+		res, svc, err := fa.replayOnce(call, 0, fa.journalOf(target, call.stream))
 		if err != nil && !isExecuted(err) && !errors.Is(err, rmi.ErrStaleSession) {
 			return false // the target is dying too; give up on this path
 		}
@@ -1029,17 +1090,26 @@ func (fa *netFaults) dropPeer(pf *peerFault, gen int64, terminal error) {
 	}
 }
 
-// drainLocked empties pf's journal, returning the calls in submission
-// order. fa.mu held.
+// drainLocked empties every stream journal on pf, returning the calls —
+// streams ascending, submission order within each — so failure delivery is
+// deterministic. fa.mu held.
 func (fa *netFaults) drainLocked(pf *peerFault) []*netCall {
-	calls := make([]*netCall, 0, len(pf.order))
-	for _, seq := range pf.order {
-		if c := pf.inflight[seq]; c != nil {
-			calls = append(calls, c)
-		}
+	streams := make([]uint32, 0, len(pf.journals))
+	for id := range pf.journals {
+		streams = append(streams, id)
 	}
-	pf.inflight = make(map[uint64]*netCall)
-	pf.order = nil
+	sort.Slice(streams, func(i, j int) bool { return streams[i] < streams[j] })
+	var calls []*netCall
+	for _, id := range streams {
+		sj := pf.journals[id]
+		for _, seq := range sj.order {
+			if c := sj.inflight[seq]; c != nil {
+				calls = append(calls, c)
+			}
+		}
+		sj.inflight = make(map[uint64]*netCall)
+		sj.order = nil
+	}
 	return calls
 }
 
@@ -1104,8 +1174,13 @@ func (fa *netFaults) join() error {
 
 func (fa *netFaults) busyLocked() bool {
 	for _, pf := range fa.peers {
-		if pf.state == pfRecovering || len(pf.inflight) > 0 {
+		if pf.state == pfRecovering {
 			return true
+		}
+		for _, sj := range pf.journals {
+			if len(sj.inflight) > 0 {
+				return true
+			}
 		}
 	}
 	return false

@@ -1,0 +1,100 @@
+package par
+
+import (
+	"errors"
+
+	"aspectpar/internal/clock"
+	"aspectpar/internal/exec"
+	"aspectpar/internal/rmi"
+)
+
+// Functional construction options for the real-TCP middleware. DialNet
+// replaces the order-sensitive setter dance (NewNetRMI, then SetClock before
+// SetFaultPolicy before the first dial) with a single constructor: every
+// knob is fixed before any connection exists, so the ordering invariant the
+// setters documented simply cannot be violated. The setters survive as
+// deprecated shims for existing callers.
+
+// NetOption configures a NetRMI at DialNet.
+type NetOption func(*netOptions)
+
+type netOptions struct {
+	clk     clock.Clock
+	faults  *FaultPolicy
+	codec   rmi.Codec
+	streams int
+}
+
+// WithNetClock installs the middleware's time source: reconnect backoffs,
+// export-retry graces and RTT stamps all ride it (the chaos harness passes a
+// virtual clock). nil keeps the wall clock.
+func WithNetClock(clk clock.Clock) NetOption {
+	return func(o *netOptions) { o.clk = clk }
+}
+
+// WithFaultPolicy switches on the fault-tolerance subsystem: journaled
+// calls, reconnect/replay with session-epoch handshakes, placement failover
+// (see FaultPolicy). A policy with Enabled == false is a no-op.
+func WithFaultPolicy(p FaultPolicy) NetOption {
+	return func(o *netOptions) { o.faults = &p }
+}
+
+// WithCodec selects the frame codec offered to every node at handshake
+// (rmi.BinaryCodec() for the compact binary format). Nodes that do not
+// accept it fall back to gob per connection, so mixed clusters work.
+func WithCodec(c rmi.Codec) NetOption {
+	return func(o *netOptions) { o.codec = c }
+}
+
+// WithStreams multiplexes each peer connection into n independent dispatch
+// streams: exported objects are assigned streams round-robin, so a slow call
+// on one object no longer head-of-line-blocks calls on others placed at the
+// same node, while per-object call order is preserved. Values below 2 keep
+// the single FIFO pipeline. The fault journal, dedupe and replay are keyed
+// per (stream, seq) throughout.
+func WithStreams(n int) NetOption {
+	return func(o *netOptions) { o.streams = n }
+}
+
+// DialNet builds the real-TCP middleware over a node address table
+// (addrs[n] is the rmi.Node daemon playing cluster node n) and eagerly
+// dials every configured node, so a bad address or unreachable daemon
+// surfaces here rather than at the first placement.
+//
+// With a fault policy enabled, individual dial failures are NOT errors: a
+// node that is down at construction is exactly what the recovery machinery
+// exists for, and the export/replay paths re-dial it (or fail over) when it
+// is first needed.
+func DialNet(addrs map[exec.NodeID]string, opts ...NetOption) (*NetRMI, error) {
+	var o netOptions
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	m := NewNetRMI(addrs)
+	m.clk = clock.Or(o.clk)
+	if o.codec != nil {
+		m.codec = o.codec
+	}
+	if o.streams > 1 {
+		m.streams = o.streams
+	}
+	if o.faults != nil && o.faults.Enabled {
+		m.faults = newNetFaults(m, *o.faults)
+	}
+	var errs []error
+	for _, node := range m.nodeIDs() {
+		if _, err := m.peer(node); err != nil {
+			if m.faults != nil {
+				continue // recovery's problem: it re-dials on first use
+			}
+			errs = append(errs, err)
+		}
+	}
+	if len(errs) > 0 {
+		m.Close()
+		return nil, errors.Join(errs...)
+	}
+	return m, nil
+}

@@ -58,13 +58,21 @@ type NetRMI struct {
 	// SetClock); fixed before the first dial, so dispatch paths read it
 	// without locking.
 	clk clock.Clock
+
+	// codec is the frame codec offered to every node at handshake (nil
+	// keeps gob); streams is the per-peer multiplexing width (≤1 keeps the
+	// single FIFO lane). Both are fixed at DialNet, before any connection.
+	codec   rmi.Codec
+	streams int
 }
 
 // netPeer is one connected worker node: the pipelined client plus its
-// control stub.
+// control stub and the round-robin cursor of stream assignment (objects
+// exported to this node spread across streams 1..streams).
 type netPeer struct {
-	client *rmi.Client
-	ctl    *rmi.Stub
+	client     *rmi.Client
+	ctl        *rmi.Stub
+	nextStream uint32
 }
 
 // NetRef is the client-side remote reference NetRMI returns from ExportNew:
@@ -103,6 +111,9 @@ func NewNetRMI(addrs map[exec.NodeID]string) *NetRMI {
 // virtual time. Like SetFaultPolicy, it must be called before the first
 // placement or call; installing a clock under sessions established on
 // another one panics.
+//
+// Deprecated: pass WithNetClock to DialNet instead — the constructor fixes
+// every knob before the first dial, so the ordering rule disappears.
 func (m *NetRMI) SetClock(clk clock.Clock) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -143,6 +154,8 @@ func (m *NetRMI) nodeIDs() []exec.NodeID {
 // handshakes, and placement failover. It must be called before the first
 // placement or call; enabling it on a middleware that has already dialled
 // peers panics, because those sessions were established untracked.
+//
+// Deprecated: pass WithFaultPolicy to DialNet instead.
 func (m *NetRMI) SetFaultPolicy(p FaultPolicy) {
 	if !p.Enabled {
 		return
@@ -185,17 +198,27 @@ func (m *NetRMI) peer(node exec.NodeID) (*netPeer, error) {
 	if !ok {
 		return nil, fmt.Errorf("par: netrmi has no address for node %d (have %d nodes)", node, len(m.addrs))
 	}
-	client, err := rmi.Dial(addr)
+	// Every dial knob is carried in options, so the connection is fully
+	// configured before its first frame: the middleware clock (reconnect
+	// backoffs ride it), the negotiated codec, and in fault mode the
+	// session identity (the server's dedupe key, surviving reconnects)
+	// plus the policy's reconnect schedule.
+	dialOpts := []rmi.Option{rmi.WithClock(m.clk)}
+	if m.codec != nil {
+		dialOpts = append(dialOpts, rmi.WithCodec(m.codec))
+	}
+	fa := m.faults
+	if fa != nil {
+		dialOpts = append(dialOpts,
+			rmi.WithSession(fa.sessionID(node)),
+			rmi.WithReconnect(fa.policy.Reconnect))
+	}
+	client, err := rmi.Dial(addr, dialOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("par: netrmi node %d: %w", node, err)
 	}
-	client.SetClock(m.clk) // reconnect backoffs ride the middleware's clock
-	if fa := m.faults; fa != nil {
-		// Fault mode: the session identity survives reconnects (it is the
-		// server's dedupe key), the reconnect schedule comes from the policy,
-		// and the epoch handshake pins this session to the node incarnation.
-		client.SetSession(fa.sessionID(node))
-		client.SetReconnectPolicy(fa.policy.Reconnect)
+	if fa != nil {
+		// The epoch handshake pins this session to the node incarnation.
 		if _, err := client.Handshake(); err != nil {
 			client.Close()
 			return nil, fmt.Errorf("par: netrmi node %d handshake: %w", node, err)
@@ -222,6 +245,25 @@ func (m *NetRMI) peer(node exec.NodeID) (*netPeer, error) {
 	m.peers[node] = p
 	m.mu.Unlock()
 	return p, nil
+}
+
+// assignStream picks the dispatch stream for the next object exported to
+// node: round-robin over 1..streams when multiplexing is on, 0 (the shared
+// FIFO lane) otherwise. Per-object assignment preserves each object's call
+// order — its calls all ride one stream's FIFO seq space — while objects on
+// different streams stop head-of-line-blocking each other.
+func (m *NetRMI) assignStream(node exec.NodeID) uint32 {
+	if m.streams <= 1 {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.peers[node]
+	if p == nil {
+		return 1
+	}
+	p.nextStream++
+	return (p.nextStream-1)%uint32(m.streams) + 1
 }
 
 // stubOf resolves the remote stub behind an exported reference.
@@ -292,6 +334,14 @@ func (m *NetRMI) ExportNew(ctx exec.Context, name string, node exec.NodeID, clas
 			return nil, fmt.Errorf("par: netrmi export %s at node %d: %w", name, node, err)
 		}
 	}
+	// Bind the object to its dispatch stream: with multiplexing on, objects
+	// placed at the same node spread round-robin over streams 1..n, so a slow
+	// call on one no longer head-of-line-blocks the others, while each
+	// object's own calls keep their FIFO order on its stream.
+	stream := m.assignStream(node)
+	if stream != 0 {
+		stub = stub.OnStream(stream)
+	}
 	m.stats.count(2, int64(m.sizer.Size(ctlArgs)+replyFloor))
 	ref := &NetRef{Name: name, Node: node}
 	if err := m.reg.add(ref, &exportEntry{name: name, node: node, class: class}); err != nil {
@@ -303,7 +353,7 @@ func (m *NetRMI) ExportNew(ctx exec.Context, name string, node exec.NodeID, clas
 	if fa := m.faults; fa != nil {
 		// Record the re-creation recipe: constructor arguments now, applied
 		// calls as they settle — what reincarnation and failover replay.
-		fa.trackExport(ref, class, args)
+		fa.trackExport(ref, class, args, stream)
 	}
 	return ref, nil
 }

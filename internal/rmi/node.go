@@ -71,10 +71,13 @@ func init() {
 	gob.Register([]any(nil))
 }
 
-// NewNode returns a node whose servants run on ctx (typically exec.Real()).
-func NewNode(ctx exec.Context) *Node {
+// NewNode returns a node whose servants run on ctx (typically exec.Real()),
+// configured by opts — WithClock for the node's time source, WithCodecs to
+// restrict the frame codecs it negotiates (a gob-only daemon in a mixed
+// cluster).
+func NewNode(ctx exec.Context, opts ...Option) *Node {
 	n := &Node{
-		srv:     NewServer(),
+		srv:     NewServer(opts...),
 		ctx:     ctx,
 		classes: make(map[string]Servant),
 		objects: make(map[string]string),

@@ -1,0 +1,89 @@
+package rmi
+
+import (
+	"net"
+
+	"aspectpar/internal/clock"
+)
+
+// Functional construction options for clients and servers. They replace the
+// order-sensitive setter chains ("SetClock before Listen", "SetSession
+// before the first tracked request", "SetSendWindow after Dial"): every knob
+// is fixed at construction, so there is no window in which a half-configured
+// client or server is observable. The old setters remain as deprecated
+// shims.
+
+// Option configures a Client (at Dial) or a Server (at NewServer/Serve).
+// Options that only make sense on one side are ignored by the other.
+type Option func(*options)
+
+type options struct {
+	clk     clock.Clock
+	window  int
+	policy  *ReconnectPolicy
+	session string
+	codec   Codec
+	codecs  []Codec
+}
+
+func (o *options) apply(opts []Option) {
+	for _, opt := range opts {
+		if opt != nil {
+			opt(o)
+		}
+	}
+}
+
+// WithClock installs the time source — reconnect backoff on a client;
+// service-time stamps, drain graces and injected delays on a server. nil
+// keeps the wall clock.
+func WithClock(clk clock.Clock) Option {
+	return func(o *options) { o.clk = clk }
+}
+
+// WithSendWindow sets a client's one-way flow-control window (values below 1
+// clamp to 1); see SetSendWindow for the semantics.
+func WithSendWindow(n int) Option {
+	return func(o *options) { o.window = n }
+}
+
+// WithReconnect installs a client's Reconnect backoff schedule.
+func WithReconnect(p ReconnectPolicy) Option {
+	return func(o *options) { o.policy = &p }
+}
+
+// WithSession tags a client's tracked requests with a stable identity (see
+// SetSession).
+func WithSession(id string) Option {
+	return func(o *options) { o.session = id }
+}
+
+// WithCodec sets the frame codec a client offers in its handshake. Dial
+// negotiates it synchronously: if the server does not speak it, the
+// connection simply stays on gob — mixed clusters interoperate. A nil codec
+// (or GobCodec) skips negotiation.
+func WithCodec(c Codec) Option {
+	return func(o *options) { o.codec = c }
+}
+
+// WithCodecs restricts the codecs a server accepts in handshake negotiation;
+// the default accepts every built-in. WithCodecs(GobCodec()) makes a
+// gob-only server — how the mixed-codec conformance cell models an old node.
+// Gob itself is always accepted: it is the pre-negotiation state of every
+// connection, not a negotiable option.
+func WithCodecs(cs ...Codec) Option {
+	return func(o *options) { o.codecs = cs }
+}
+
+// Serve starts a server on an existing listener, configured by opts — the
+// option-first twin of NewServer+Listen for callers that bring their own
+// net.Listener.
+func Serve(ln net.Listener, opts ...Option) *Server {
+	s := NewServer(opts...)
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return s
+}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -92,6 +93,18 @@ type request struct {
 	Client string
 	Seq    uint64
 	Epoch  int64
+	// Stream selects the server dispatch lane of a multiplexed connection.
+	// Stream 0 is the legacy lane: dispatched inline in connection order,
+	// exactly the pre-multiplexing FIFO pipeline. Streams > 0 each get their
+	// own FIFO dispatch goroutine, so a slow call on one stream no longer
+	// head-of-line-blocks the others. Sequence spaces (Seq) and the server's
+	// dedupe sessions are per (Client, Stream).
+	Stream uint32
+	// Codec, on a Hello, offers a frame codec: the server that accepts it
+	// answers with the same name in response.Codec and both sides switch
+	// after the handshake exchange. Absent (or unknown to the server) means
+	// the connection stays on gob — the mixed-cluster fallback.
+	Codec string
 }
 
 type response struct {
@@ -109,6 +122,12 @@ type response struct {
 	// ServiceNs is the server-side dispatch time of a two-way call — the
 	// service-time signal the client's tuning controllers consume.
 	ServiceNs int64
+	// Stream echoes the request's stream, so the client's reader can match
+	// the response to the right per-stream FIFO.
+	Stream uint32
+	// Codec, on a handshake reply, confirms the codec the server switched
+	// this connection to (see request.Codec).
+	Codec string
 }
 
 // Server hosts exported objects and the name server.
@@ -121,12 +140,17 @@ type Server struct {
 	wg       sync.WaitGroup
 	epoch    atomic.Int64
 	requests atomic.Int64
-	sessions map[string]*clientSession
+	sessions map[sessionKey]*clientSession
 
 	// clk is the server's time source: service-time stamps, the drain grace
 	// and injected dispatch delays all flow through it. Fixed before Listen
 	// (see SetClock), so the serving goroutines read it without locking.
 	clk clock.Clock
+
+	// codecs is the set of frame codecs this server accepts in handshake
+	// negotiation, immutable after construction (WithCodecs restricts it).
+	// Gob is implicit: every connection starts there.
+	codecs map[string]Codec
 
 	// Fault-injection state (see inject.go).
 	partitioned   atomic.Bool
@@ -136,13 +160,25 @@ type Server struct {
 }
 
 // NewServer returns a server with an empty registry and a fresh session
-// epoch (see Epoch).
-func NewServer() *Server {
+// epoch (see Epoch), configured by opts (clock, accepted codecs).
+func NewServer(opts ...Option) *Server {
+	var o options
+	o.apply(opts)
 	s := &Server{
 		objects:  make(map[string]DispatchFunc),
 		conns:    make(map[net.Conn]struct{}),
-		sessions: make(map[string]*clientSession),
-		clk:      clock.Real(),
+		sessions: make(map[sessionKey]*clientSession),
+		clk:      clock.Or(o.clk),
+		codecs:   make(map[string]Codec),
+	}
+	accepted := o.codecs
+	if accepted == nil {
+		accepted = Codecs()
+	}
+	for _, c := range accepted {
+		if c != nil {
+			s.codecs[c.Name()] = c
+		}
 	}
 	s.epoch.Store(newEpoch(s.clk))
 	return s
@@ -152,6 +188,9 @@ func NewServer() *Server {
 // Must be called before Listen — the serving goroutines capture it without
 // locking. The session epoch is re-minted on the new clock (no client can
 // have handshaken the old one yet).
+//
+// Deprecated: pass WithClock to NewServer (or Serve) instead; the setter
+// survives only so pre-options callers keep compiling.
 func (s *Server) SetClock(clk clock.Clock) {
 	s.clk = clock.Or(clk)
 	s.epoch.Store(newEpoch(s.clk))
@@ -227,34 +266,165 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
+// connWriter serialises every response write of one connection — the inline
+// stream-0 lane and all multiplexed stream lanes share it — and coalesces
+// flushes: a writer that can see another writer already waiting for the
+// mutex leaves its bytes in the buffer for that successor to flush, so a
+// burst of responses (a whole windowed pack's acknowledgements, or several
+// lanes answering at once) leaves in one syscall instead of one per frame.
+// The last writer of a burst always observes zero waiters and flushes.
+type connWriter struct {
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	enc     frameEncoder
+	waiters atomic.Int32
+	err     error // sticky: a failed connection never accepts more writes
+}
+
+func newConnWriter(conn net.Conn) *connWriter {
+	bw := bufio.NewWriter(conn)
+	return &connWriter{bw: bw, enc: GobCodec().newEncoder(bw)}
+}
+
+func (w *connWriter) write(resp *response) error {
+	w.waiters.Add(1)
+	w.mu.Lock()
+	w.waiters.Add(-1)
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	err := w.enc.EncodeResponse(resp)
+	if err == nil && w.waiters.Load() == 0 {
+		err = w.bw.Flush()
+	}
+	if err != nil {
+		w.err = err
+	}
+	return err
+}
+
+// setCodec swaps the connection's response codec; the caller must have
+// flushed the handshake reply (write does, when it is the last writer) and
+// guaranteed no concurrent traffic — negotiation is the first exchange on a
+// fresh connection.
+func (w *connWriter) setCodec(c Codec) {
+	w.mu.Lock()
+	w.bw.Flush() // any coalesced pre-swap frames must leave in the old codec
+	w.enc = c.newEncoder(w.bw)
+	w.mu.Unlock()
+}
+
+// streamLane is one multiplexed dispatch lane of a connection: an unbounded
+// FIFO fed by the read loop and drained by a dedicated goroutine, so lanes
+// make progress independently. Closing a lane lets it finish what is queued
+// (the graceful-drain contract of Server.Close).
+type streamLane struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*request
+	closed bool
+}
+
+func newStreamLane() *streamLane {
+	l := &streamLane{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+func (l *streamLane) enqueue(req *request) {
+	l.mu.Lock()
+	l.queue = append(l.queue, req)
+	l.cond.Signal()
+	l.mu.Unlock()
+}
+
+func (l *streamLane) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+func (l *streamLane) run(s *Server, w *connWriter, stream uint32) {
+	for {
+		l.mu.Lock()
+		for len(l.queue) == 0 && !l.closed {
+			l.cond.Wait()
+		}
+		if len(l.queue) == 0 {
+			l.mu.Unlock()
+			return
+		}
+		req := l.queue[0]
+		l.queue = l.queue[1:]
+		l.mu.Unlock()
+		resp := s.handle(req)
+		resp.Stream = stream
+		// A write failure is terminal for the connection (connWriter is
+		// sticky); keep draining so queued requests still execute — their
+		// effects are journaled server-side and the client replays/dedupes.
+		w.write(resp)
+	}
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	// The reader is shared between codecs: gob consumes exactly message
+	// bytes from a ByteReader, so after a handshake codec switch the next
+	// frame is intact in this buffer for the new decoder.
+	br := bufio.NewReader(conn)
+	w := newConnWriter(conn)
+	var dec frameDecoder = GobCodec().newDecoder(br)
+	lanes := make(map[uint32]*streamLane)
+	var laneWG sync.WaitGroup
 	defer func() {
+		for _, l := range lanes {
+			l.close()
+		}
+		laneWG.Wait() // lanes drain their queues before the socket drops
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
-	// The encoder writes through a reused buffer, flushed once per response:
-	// gob frames stay intact and each response costs one conn write instead
-	// of several small ones.
-	bw := bufio.NewWriter(conn)
-	enc := gob.NewEncoder(bw)
 	for {
 		var req request
-		if err := dec.Decode(&req); err != nil {
+		if err := dec.DecodeRequest(&req); err != nil {
 			return // EOF or broken connection
 		}
 		if d := s.dispatchDelay.Load(); d > 0 {
 			s.clk.Sleep(time.Duration(d)) // injected slow link (see inject.go)
 		}
+		if req.Stream != 0 {
+			lane := lanes[req.Stream]
+			if lane == nil {
+				lane = newStreamLane()
+				lanes[req.Stream] = lane
+				laneWG.Add(1)
+				stream := req.Stream
+				go func() {
+					defer laneWG.Done()
+					lane.run(s, w, stream)
+				}()
+			}
+			r := req
+			lane.enqueue(&r)
+			continue
+		}
 		resp := s.handle(&req)
-		if err := enc.Encode(resp); err != nil {
+		if err := w.write(resp); err != nil {
 			return
 		}
-		if err := bw.Flush(); err != nil {
-			return
+		if resp.Codec != "" {
+			// Handshake accepted a codec switch: the reply above left in
+			// gob; everything after speaks the negotiated codec. Negotiation
+			// is the first exchange on a fresh connection, so no other
+			// frame can straddle the swap.
+			if c := s.codecs[resp.Codec]; c != nil {
+				w.setCodec(c)
+				dec = c.newDecoder(br)
+			}
 		}
 	}
 }
@@ -265,7 +435,16 @@ func (s *Server) handle(req *request) *response {
 		s.notifyRequestWatches(total)
 	}
 	if req.Hello { // session handshake: report the epoch, dispatch nothing
-		return &response{Bound: true, Epoch: s.epoch.Load()}
+		resp := &response{Bound: true, Epoch: s.epoch.Load()}
+		// Codec negotiation rides the handshake: accept the offer only if
+		// this server speaks it, and only on the inline lane (stream 0) of a
+		// fresh connection — serveConn performs the switch after the reply.
+		if req.Codec != "" && req.Codec != gobName && req.Stream == 0 {
+			if _, ok := s.codecs[req.Codec]; ok {
+				resp.Codec = req.Codec
+			}
+		}
+		return resp
 	}
 	s.mu.Lock()
 	dispatch, ok := s.objects[req.Object]
@@ -285,7 +464,7 @@ func (s *Server) handle(req *request) *response {
 		// — or is applying right now on another connection — is answered
 		// without executing again (see beginTracked).
 		var applied *response
-		if applied, finish = s.beginTracked(req.Client, req.Seq); applied != nil {
+		if applied, finish = s.beginTracked(req.Client, req.Stream, req.Seq); applied != nil {
 			return applied
 		}
 	}
@@ -432,10 +611,14 @@ func closeRead(conn net.Conn) {
 }
 
 // pendingReply is one request on the wire awaiting its response. The server
-// answers in request order, so the client keeps a FIFO of these.
+// answers each stream in request order, so the client keeps a FIFO of these
+// per stream.
 type pendingReply struct {
 	oneWay  bool
 	deliver func(*response, error) // nil for one-way sends
+	// swap marks a codec-negotiation handshake: when its response confirms
+	// the offered codec, the reader swaps both directions before delivering.
+	swap Codec
 }
 
 // oneWayAck is the shared pending entry of every one-way send: the reader
@@ -455,16 +638,25 @@ type Client struct {
 	addr string
 
 	// sendMu serialises encoder writes; the pending append happens under it
-	// too, so queue order always equals wire order.
-	sendMu sync.Mutex
-	bw     *bufio.Writer
-	enc    *gob.Encoder
+	// too, so queue order always equals wire order. sendWaiters counts
+	// senders queued on it: a sender that can see a successor skips its
+	// flush (write coalescing — a windowed pack of posts leaves the buffer
+	// as one frame batch, in one syscall, flushed by the burst's last post).
+	sendMu      sync.Mutex
+	sendWaiters atomic.Int32
+	bw          *bufio.Writer
+	enc         frameEncoder
+
+	// codec is the frame codec this client offers at handshake (nil or gob:
+	// no negotiation). The live encoder/decoder switch once per connection
+	// generation when the server confirms.
+	codec Codec
 
 	mu            sync.Mutex
 	cond          *sync.Cond
 	conn          net.Conn
 	gen           int64 // connection generation, bumped by Reconnect
-	pending       []*pendingReply
+	pending       map[uint32][]*pendingReply
 	transport     error // sticky first transport failure (per generation)
 	closed        bool
 	userClosed    bool // Close was called: Reconnect must refuse
@@ -480,8 +672,13 @@ type Client struct {
 	closeCh chan struct{} // closed once by Close; aborts a backoff in flight
 }
 
-// Dial connects to an RMI server with the default send window.
-func Dial(addr string) (*Client, error) {
+// Dial connects to an RMI server, configured by opts (clock, send window,
+// reconnect policy, session identity, codec). With WithCodec, Dial
+// negotiates the codec synchronously before returning — the Client handed
+// back is fully switched or fell back to gob; either way it works.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	var o options
+	o.apply(opts)
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("rmi: dial %s: %w", addr, err)
@@ -491,18 +688,66 @@ func Dial(addr string) (*Client, error) {
 		addr:       addr,
 		conn:       conn,
 		bw:         bw,
-		enc:        gob.NewEncoder(bw),
+		enc:        GobCodec().newEncoder(bw),
+		pending:    make(map[uint32][]*pendingReply),
 		windowSize: DefaultSendWindow,
-		clk:        clock.Real(),
+		clk:        clock.Or(o.clk),
 		closeCh:    make(chan struct{}),
+		session:    o.session,
+	}
+	if o.window > 0 {
+		c.windowSize = o.window
+	} else if o.window < 0 {
+		c.windowSize = 1
+	}
+	if o.policy != nil {
+		c.policy = *o.policy
+	}
+	if o.codec != nil && o.codec.Name() != gobName {
+		c.codec = o.codec
 	}
 	c.cond = sync.NewCond(&c.mu)
-	go c.readLoop(gob.NewDecoder(conn), 0)
+	// One shared read buffer: the gob decoder consumes exactly message
+	// bytes from it, so a negotiated codec's decoder can take over
+	// mid-stream (see codec.go).
+	br := bufio.NewReader(conn)
+	go c.readLoop(br, GobCodec().newDecoder(br), 0)
+	if c.codec != nil {
+		if err := c.negotiate(); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("rmi: dial %s: negotiate codec: %w", addr, err)
+		}
+	}
 	return c, nil
+}
+
+// negotiate offers the client's preferred codec in a Hello exchange. The
+// reader swaps encoder and decoder before delivering the confirming reply,
+// so every frame after it — in both directions — speaks the new codec. A
+// server that does not accept leaves the connection on gob (no error: that
+// is the mixed-cluster fallback). Callers guarantee nothing else is in
+// flight (Dial and Reconnect run it before handing the connection out).
+func (c *Client) negotiate() error {
+	f, resolve := future.New[*response]()
+	p := &pendingReply{
+		swap:    c.codec,
+		deliver: func(r *response, err error) { resolve(r, err) },
+	}
+	if err := c.post("", "", nil, false, true, 0, 0, c.codec.Name(), p); err != nil {
+		return err
+	}
+	resp, err := f.Get()
+	if err != nil {
+		return err
+	}
+	c.epoch.Store(resp.Epoch)
+	return nil
 }
 
 // SetClock installs the time source Reconnect's backoff waits on; nil selects
 // the wall clock.
+//
+// Deprecated: pass WithClock to Dial instead.
 func (c *Client) SetClock(clk clock.Clock) {
 	c.mu.Lock()
 	c.clk = clock.Or(clk)
@@ -512,6 +757,9 @@ func (c *Client) SetClock(clk clock.Clock) {
 // SetSendWindow sets the flow-control window: the maximum number of one-way
 // sends that may be in flight (sent but unacknowledged) before Send blocks.
 // Values below 1 are clamped to 1 (fully synchronous ack-by-ack flow).
+// Unlike the construction options this one is still useful at runtime — the
+// autotuner resizes live windows through it — so it is not deprecated;
+// WithSendWindow covers the construction-time case.
 func (c *Client) SetSendWindow(n int) {
 	if n < 1 {
 		n = 1
@@ -553,30 +801,39 @@ func (c *Client) fail(gen int64, err error) {
 	c.transport = err
 	c.closed = true
 	failed := c.pending
-	c.pending = nil
+	c.pending = make(map[uint32][]*pendingReply)
 	// Nothing is in flight on a dead connection: the loss itself is reported
 	// by Flush's transport error, so the window must not stay pinned open —
 	// quiescence checks would otherwise never settle.
 	c.inFlightSends = 0
 	c.cond.Broadcast()
 	c.mu.Unlock()
-	for _, p := range failed {
-		if p.deliver != nil {
-			p.deliver(nil, err)
+	// Drain stream by stream in ascending id, FIFO within each, so error
+	// delivery order is deterministic.
+	streams := make([]uint32, 0, len(failed))
+	for s := range failed {
+		streams = append(streams, s)
+	}
+	slices.Sort(streams)
+	for _, s := range streams {
+		for _, p := range failed[s] {
+			if p.deliver != nil {
+				p.deliver(nil, err)
+			}
 		}
 	}
 }
 
 // readLoop is the client's single response reader: it decodes responses and
-// completes the head of the pending FIFO, acknowledging one-way sends and
-// resolving futures for two-way calls. gen pins the loop to its connection
-// generation: after a Reconnect swapped the transport, a lingering old
-// reader must neither consume the new generation's pending entries nor fail
-// the fresh connection.
-func (c *Client) readLoop(dec *gob.Decoder, gen int64) {
+// completes the head of the matching stream's pending FIFO, acknowledging
+// one-way sends and resolving futures for two-way calls. gen pins the loop
+// to its connection generation: after a Reconnect swapped the transport, a
+// lingering old reader must neither consume the new generation's pending
+// entries nor fail the fresh connection.
+func (c *Client) readLoop(br *bufio.Reader, dec frameDecoder, gen int64) {
 	for {
 		var resp response
-		if err := dec.Decode(&resp); err != nil {
+		if err := dec.DecodeResponse(&resp); err != nil {
 			if errors.Is(err, io.EOF) {
 				err = fmt.Errorf("rmi: connection closed by server: %w", err)
 			} else {
@@ -590,13 +847,34 @@ func (c *Client) readLoop(dec *gob.Decoder, gen int64) {
 			c.mu.Unlock()
 			return // stale reader: a Reconnect replaced this connection
 		}
-		if len(c.pending) == 0 {
+		q := c.pending[resp.Stream]
+		if len(q) == 0 {
 			c.mu.Unlock()
 			c.fail(gen, errors.New("rmi: response without matching request"))
 			return
 		}
-		p := c.pending[0]
-		c.pending = c.pending[1:]
+		p := q[0]
+		c.pending[resp.Stream] = q[1:]
+		if p.swap != nil {
+			// Codec negotiation reply: switch both directions BEFORE
+			// delivering, so any frame a delivery triggers already speaks
+			// the new codec. Lock order matches post (sendMu then mu); the
+			// gen re-check keeps a stale reader from clobbering a fresh
+			// connection's encoder.
+			c.mu.Unlock()
+			if resp.Codec == p.swap.Name() {
+				c.sendMu.Lock()
+				c.mu.Lock()
+				if gen == c.gen {
+					c.enc = p.swap.newEncoder(c.bw)
+					dec = p.swap.newDecoder(br)
+				}
+				c.mu.Unlock()
+				c.sendMu.Unlock()
+			}
+			p.deliver(&resp, nil)
+			continue
+		}
 		if p.oneWay {
 			c.inFlightSends--
 			c.cond.Broadcast()
@@ -616,20 +894,32 @@ func (c *Client) readLoop(dec *gob.Decoder, gen int64) {
 	}
 }
 
-// post enqueues the pending entry and writes the request, preserving FIFO
-// order between the two. An encode failure poisons the connection: gob
-// streams cannot resynchronise after a partial write. The request frame
-// comes from (and returns to) requestPool: it is fully on the buffered
-// writer when Encode returns, so releasing it here is safe. seq > 0 marks a
-// session-tracked request: it ships the client's session tag and epoch stamp
-// alongside, arming the server's dedupe and stale-replay guards.
-func (c *Client) post(object, method string, args []any, oneWay, hello bool, seq uint64, p *pendingReply) error {
+// post enqueues the pending entry on its stream's FIFO and writes the
+// request, preserving FIFO order between the two. An encode failure poisons
+// the connection: neither gob nor the binary framing can resynchronise after
+// a partial write. The request frame comes from (and returns to)
+// requestPool: it is fully on the buffered writer when Encode returns, so
+// releasing it here is safe. seq > 0 marks a session-tracked request: it
+// ships the client's session tag and epoch stamp alongside, arming the
+// server's dedupe and stale-replay guards (scoped per stream).
+//
+// Flushes coalesce: a post that can see another post already waiting for
+// sendMu leaves its frame buffered — the successor (ultimately the burst's
+// last post, which sees no waiter) flushes the whole batch in one write.
+// If that successor instead fails at the transport, the connection is
+// poisoned and every buffered frame's pending entry resolves through fail,
+// so no frame is silently stranded.
+func (c *Client) post(object, method string, args []any, oneWay, hello bool, seq uint64, stream uint32, codec string, p *pendingReply) error {
 	req := requestPool.Get().(*request)
 	req.Object, req.Method, req.Args, req.OneWay, req.Hello = object, method, args, oneWay, hello
+	req.Stream = stream
+	req.Codec = codec
 	if seq > 0 && c.session != "" {
 		req.Client, req.Seq, req.Epoch = c.session, seq, c.epoch.Load()
 	}
+	c.sendWaiters.Add(1)
 	c.sendMu.Lock()
+	c.sendWaiters.Add(-1)
 	defer c.sendMu.Unlock()
 	c.mu.Lock()
 	if err := c.transport; err != nil {
@@ -639,10 +929,10 @@ func (c *Client) post(object, method string, args []any, oneWay, hello bool, seq
 		return err
 	}
 	gen := c.gen
-	c.pending = append(c.pending, p)
+	c.pending[stream] = append(c.pending[stream], p)
 	c.mu.Unlock()
-	err := c.enc.Encode(req)
-	if err == nil {
+	err := c.enc.EncodeRequest(req)
+	if err == nil && c.sendWaiters.Load() == 0 {
 		err = c.bw.Flush()
 	}
 	*req = request{}
@@ -657,10 +947,10 @@ func (c *Client) post(object, method string, args []any, oneWay, hello bool, seq
 // call performs one pipelined two-way exchange; the returned future resolves
 // from the reader goroutine when the in-order response arrives (or from the
 // failing path, whichever comes first — resolution is write-once).
-func (c *Client) call(object, method string, args []any) *future.Future[*response] {
+func (c *Client) call(object, method string, args []any, stream uint32) *future.Future[*response] {
 	f, resolve := future.New[*response]()
 	p := &pendingReply{deliver: func(r *response, err error) { resolve(r, err) }}
-	if err := c.post(object, method, args, false, false, 0, p); err != nil {
+	if err := c.post(object, method, args, false, false, 0, stream, "", p); err != nil {
 		resolve(nil, err)
 	}
 	return f
@@ -709,7 +999,7 @@ func (c *Client) Flush() error {
 // Lookup resolves a name to a stub; it fails with ErrNotBound for unknown
 // names (the client contacting the name server, the paper's modification 3).
 func (c *Client) Lookup(name string) (*Stub, error) {
-	resp, err := c.call(name, "", nil).Get()
+	resp, err := c.call(name, "", nil, 0).Get()
 	if err != nil {
 		return nil, err
 	}
@@ -725,6 +1015,7 @@ func (c *Client) Lookup(name string) (*Stub, error) {
 type Stub struct {
 	client *Client
 	name   string
+	stream uint32
 }
 
 // Name returns the bound name this stub refers to.
@@ -732,6 +1023,20 @@ func (s *Stub) Name() string { return s.name }
 
 // Client returns the connection this stub invokes over.
 func (s *Stub) Client() *Client { return s.client }
+
+// Stream returns the multiplexed stream this stub's calls ride (0 is the
+// inline legacy lane).
+func (s *Stub) Stream() uint32 { return s.stream }
+
+// OnStream returns a copy of the stub bound to the given stream. Calls on
+// different streams of one connection are dispatched concurrently by the
+// server and answered independently — a slow call holds up only its own
+// stream — while calls on one stream keep the strict FIFO pipeline order.
+// Session-tracked sequence numbers (InvokeSeq/SendSeq) are scoped per
+// stream: callers maintain one monotone seq space per stream they use.
+func (s *Stub) OnStream(stream uint32) *Stub {
+	return &Stub{client: s.client, name: s.name, stream: stream}
+}
 
 // Invoke performs the remote method invocation synchronously.
 func (s *Stub) Invoke(method string, args ...any) ([]any, error) {
@@ -753,7 +1058,7 @@ func (s *Stub) InvokeAsync(method string, args ...any) *future.Future[[]any] {
 		res, _, err := outcome(resp, err)
 		resolve(res, err)
 	}}
-	if err := s.client.post(s.name, method, args, false, false, 0, p); err != nil {
+	if err := s.client.post(s.name, method, args, false, false, 0, s.stream, "", p); err != nil {
 		resolve(nil, err)
 	}
 	return f
@@ -810,7 +1115,7 @@ func (s *Stub) invokeCB(method string, seq uint64, deliver func([]any, time.Dura
 	p := &pendingReply{deliver: func(resp *response, err error) {
 		once(outcome(resp, err))
 	}}
-	if err := s.client.post(s.name, method, args, false, false, seq, p); err != nil {
+	if err := s.client.post(s.name, method, args, false, false, seq, s.stream, "", p); err != nil {
 		once(nil, 0, err)
 	}
 }
@@ -827,7 +1132,7 @@ func (s *Stub) Send(method string, args ...any) error {
 	if err := s.client.acquireSendCredit(); err != nil {
 		return err
 	}
-	return s.client.post(s.name, method, args, true, false, 0, oneWayAck)
+	return s.client.post(s.name, method, args, true, false, 0, s.stream, "", oneWayAck)
 }
 
 // Flush waits for this stub's connection to drain its one-way window; see

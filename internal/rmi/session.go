@@ -2,7 +2,6 @@ package rmi
 
 import (
 	"bufio"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -74,10 +73,19 @@ func MixIdentity(base int64) int64 {
 // any send window a replaying client can have had in flight.
 const dedupeKeep = 256
 
-// clientSession is the server side of one tracked client: the highest
-// applied sequence number, the recent response cache, and the dispatches
-// currently in progress (so a replay of a call whose original is still
-// executing waits for it instead of executing a second time).
+// sessionKey scopes a dedupe session to one (client, stream) pair: each
+// multiplexed stream runs its own monotone sequence space, so the server
+// tracks applied watermarks and response caches per stream — a replay after
+// reconnect is judged against exactly the lane it originally rode.
+type sessionKey struct {
+	client string
+	stream uint32
+}
+
+// clientSession is the server side of one tracked (client, stream) lane: the
+// highest applied sequence number, the recent response cache, and the
+// dispatches currently in progress (so a replay of a call whose original is
+// still executing waits for it instead of executing a second time).
 type clientSession struct {
 	applied    uint64
 	results    map[uint64]*response
@@ -91,12 +99,13 @@ type clientSession struct {
 // to finish. Otherwise it returns a finish func the handler must call with
 // the dispatched response: finish records the application and wakes any
 // replica of the request that arrived while it ran.
-func (s *Server) beginTracked(client string, seq uint64) (*response, func(*response)) {
+func (s *Server) beginTracked(client string, stream uint32, seq uint64) (*response, func(*response)) {
 	s.mu.Lock()
-	sess := s.sessions[client]
+	key := sessionKey{client: client, stream: stream}
+	sess := s.sessions[key]
 	if sess == nil {
 		sess = &clientSession{results: make(map[uint64]*response), inProgress: make(map[uint64]chan struct{})}
-		s.sessions[client] = sess
+		s.sessions[key] = sess
 	}
 	if seq <= sess.applied {
 		r := sess.results[seq]
@@ -150,7 +159,7 @@ func (s *Server) Epoch() int64 { return s.epoch.Load() }
 func (s *Server) RotateEpoch() {
 	s.epoch.Store(newEpoch(s.clk))
 	s.mu.Lock()
-	s.sessions = make(map[string]*clientSession)
+	s.sessions = make(map[sessionKey]*clientSession)
 	s.mu.Unlock()
 }
 
@@ -210,6 +219,8 @@ func (p ReconnectPolicy) WithDefaults() ReconnectPolicy {
 }
 
 // SetReconnectPolicy installs the client's Reconnect schedule.
+//
+// Deprecated: pass WithReconnect to Dial instead.
 func (c *Client) SetReconnectPolicy(p ReconnectPolicy) {
 	c.mu.Lock()
 	c.policy = p
@@ -220,6 +231,8 @@ func (c *Client) SetReconnectPolicy(p ReconnectPolicy) {
 // stable identity, arming the server's dedupe and stale-replay guards. Call
 // it once, before the first tracked request; the identity survives
 // Reconnect, which is the point.
+//
+// Deprecated: pass WithSession to Dial instead.
 func (c *Client) SetSession(id string) { c.session = id }
 
 // Epoch returns the server session epoch of the last Handshake (zero before
@@ -232,7 +245,7 @@ func (c *Client) Epoch() int64 { return c.epoch.Load() }
 func (c *Client) Handshake() (int64, error) {
 	f, resolve := future.New[*response]()
 	p := &pendingReply{deliver: func(r *response, err error) { resolve(r, err) }}
-	if err := c.post("", "", nil, false, true, 0, p); err != nil {
+	if err := c.post("", "", nil, false, true, 0, 0, "", p); err != nil {
 		return 0, err
 	}
 	resp, err := f.Get()
@@ -314,10 +327,12 @@ func (c *Client) Reconnect() (sameEpoch bool, err error) {
 	newGen := c.gen
 	c.conn = conn
 	c.bw = bufio.NewWriter(conn)
-	c.enc = gob.NewEncoder(c.bw)
+	// Every fresh connection starts in gob; a preferred codec is
+	// renegotiated below, exactly like Dial's first handshake.
+	c.enc = GobCodec().newEncoder(c.bw)
 	c.transport = nil
 	c.closed = false
-	c.pending = nil
+	c.pending = make(map[uint32][]*pendingReply)
 	c.inFlightSends = 0
 	c.sendErrs = nil
 	c.cond.Broadcast()
@@ -326,11 +341,23 @@ func (c *Client) Reconnect() (sameEpoch bool, err error) {
 	if old != nil {
 		old.Close()
 	}
-	go c.readLoop(gob.NewDecoder(conn), newGen)
+	br := bufio.NewReader(conn)
+	go c.readLoop(br, GobCodec().newDecoder(br), newGen)
 
-	epoch, err := c.Handshake()
-	if err != nil {
-		return false, fmt.Errorf("rmi: reconnect handshake: %w", err)
+	var epoch int64
+	if c.codec != nil {
+		// Re-offer the preferred codec; the server of this incarnation may
+		// or may not accept (a failover target could be gob-only) — either
+		// way the handshake records its epoch.
+		if err := c.negotiate(); err != nil {
+			return false, fmt.Errorf("rmi: reconnect handshake: %w", err)
+		}
+		epoch = c.epoch.Load()
+	} else {
+		epoch, err = c.Handshake()
+		if err != nil {
+			return false, fmt.Errorf("rmi: reconnect handshake: %w", err)
+		}
 	}
 	return prev != 0 && epoch == prev, nil
 }
@@ -375,7 +402,7 @@ func (s *Stub) SendSeq(method string, seq uint64, acked func(error), args ...any
 		_, _, err = outcome(resp, err)
 		once(err)
 	}}
-	if err := s.client.post(s.name, method, args, true, false, seq, p); err != nil {
+	if err := s.client.post(s.name, method, args, true, false, seq, s.stream, "", p); err != nil {
 		once(err)
 	}
 }

@@ -175,6 +175,7 @@ func TestChaosMatrix(t *testing.T) {
 	p := matrixParams()
 	p.Packs = 24 // enough in-flight traffic that scripted kills land mid-window
 	p.Window = 2
+	p.NetStreams = 2 // crashes must be survivable with multiplexed streams, too
 	want, err := HandSequential(p.Max)
 	if err != nil {
 		t.Fatal(err)

@@ -71,12 +71,17 @@ func genScenario(kind string, seed int64) virtScenario {
 
 // virtParams shrinks the matrix cell so a 100-cell sweep stays affordable
 // while each run still carries enough in-flight traffic (16 packs, window 2)
-// for scripted watermarks to land mid-window.
+// for scripted watermarks to land mid-window. The sweep runs the wire-speed
+// transport configuration — binary codec, two dispatch streams per peer — so
+// every scenario also exercises codec renegotiation and per-stream replay
+// across its failures.
 func virtParams() Params {
 	p := matrixParams()
 	p.Max = 8_000
 	p.Packs = 16
 	p.Window = 2
+	p.NetCodec = "binary"
+	p.NetStreams = 2
 	return p
 }
 

@@ -3,6 +3,10 @@ package sieve
 import (
 	"net"
 	"testing"
+
+	"aspectpar/internal/exec"
+	"aspectpar/internal/par"
+	"aspectpar/internal/rmi"
 )
 
 // These tests are the real-TCP half of the conformance harness: the same
@@ -117,6 +121,76 @@ func TestNetAutotuned(t *testing.T) {
 	// accumulate when NetRMI completions carry node-side dispatch times.
 	if res.Tune.AvgServiceNs <= 0 {
 		t.Errorf("no service-time signal reached the tuner over real TCP: %+v", res.Tune)
+	}
+}
+
+// TestNetBinaryStreamsConformance runs the self-scheduling farms over the
+// wire-speed configuration — binary codec, three dispatch streams per peer —
+// and checks the primes against the oracle and against the default gob/FIFO
+// run: the transport upgrade must be observationally invisible.
+func TestNetBinaryStreamsConformance(t *testing.T) {
+	requireLoopback(t)
+	want, err := HandSequential(netParams().Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []Combo{
+		{PartDynamicFarm, ConcMerged, DistNet},
+		{PartStealingFarm, ConcMerged, DistNet},
+	} {
+		c := c
+		t.Run(c.String(), func(t *testing.T) {
+			base := netParams()
+			base.Window = 2
+			gobRes, err := RunCombo(c, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast := base
+			fast.NetCodec = "binary"
+			fast.NetStreams = 3
+			fastRes, err := RunCombo(c, fast)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertPrimesEqual(t, fastRes.Primes, want)
+			assertPrimesEqual(t, fastRes.Primes, gobRes.Primes)
+		})
+	}
+}
+
+// TestNetMixedCodecCluster pins interop: the client offers the binary codec
+// to gob-only node daemons — an older build that never learned the format —
+// and each connection falls back to gob at handshake. The run must succeed
+// and stay oracle-equal, which is what lets a cluster upgrade node by node.
+func TestNetMixedCodecCluster(t *testing.T) {
+	requireLoopback(t)
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		node := rmi.NewNode(exec.Real(), rmi.WithCodecs(rmi.GobCodec()))
+		par.HostClass(node, DefineClass(par.NewDomain()))
+		addr, err := node.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(node.Close)
+		addrs = append(addrs, addr)
+	}
+	p := netParams()
+	p.NetAddrs = addrs
+	p.NetCodec = "binary"
+	p.NetStreams = 2
+	want, err := HandSequential(p.Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCombo(Combo{PartStealingFarm, ConcMerged, DistNet}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPrimesEqual(t, res.Primes, want)
+	if res.Comm.Messages == 0 {
+		t.Error("no middleware traffic counted — calls did not cross the wire")
 	}
 }
 

@@ -290,6 +290,15 @@ type Params struct {
 	// NetNodes is the number of in-process loopback daemons a DistNet run
 	// launches when NetAddrs is empty; 0 selects 2.
 	NetNodes int
+	// NetCodec selects the frame codec a DistNet run offers its nodes at
+	// handshake ("binary" for the compact format, "" or "gob" for the
+	// self-describing default). Nodes that do not accept the offer fall
+	// back to gob per connection, so a mixed cluster still interoperates.
+	NetCodec string
+	// NetStreams multiplexes each node connection into that many dispatch
+	// streams (objects assigned round-robin, per-object FIFO preserved);
+	// values below 2 keep the single pipelined lane.
+	NetStreams int
 	// Faults enables NetRMI's fault-tolerance subsystem for DistNet runs:
 	// journaled calls, reconnect/replay across transport blips, state
 	// reconstruction after a node restart, placement failover off dead
@@ -529,21 +538,54 @@ func startNetEnv(p Params) (*netEnv, error) {
 			addrs = append(addrs, addr)
 		}
 	}
-	env.mw = par.NewNetRMI(par.NetAddressTable(addrs...))
+	// DialNet fixes every middleware knob before the first connection —
+	// clock, fault policy, codec, stream width — so there is no setter
+	// ordering to get wrong.
+	var netOpts []par.NetOption
 	if p.Clock != nil {
-		// Before SetFaultPolicy: the fault layer mints its session nonce on
-		// the middleware's clock.
-		env.mw.SetClock(p.Clock)
+		netOpts = append(netOpts, par.WithNetClock(p.Clock))
 	}
 	if p.Faults.Enabled {
-		env.mw.SetFaultPolicy(p.Faults)
+		netOpts = append(netOpts, par.WithFaultPolicy(p.Faults))
 	}
+	if p.NetCodec != "" {
+		codec, err := rmi.CodecByName(p.NetCodec)
+		if err != nil {
+			env.close()
+			return nil, fmt.Errorf("sieve: net codec: %w", err)
+		}
+		netOpts = append(netOpts, par.WithCodec(codec))
+	}
+	if p.NetStreams > 1 {
+		netOpts = append(netOpts, par.WithStreams(p.NetStreams))
+	}
+	mw, err := par.DialNet(par.NetAddressTable(addrs...), netOpts...)
+	if err != nil {
+		env.close()
+		return nil, fmt.Errorf("sieve: dial net nodes: %w", err)
+	}
+	env.mw = mw
 	if len(p.NetAddrs) > 0 {
 		// Borrowed daemons may hold a previous run's placements; start from
-		// a clean registry so the generated "PS<n>" names bind.
-		if err := env.mw.Reset(); err != nil {
-			env.close()
-			return nil, fmt.Errorf("sieve: reset net nodes: %w", err)
+		// a clean registry so the generated "PS<n>" names bind. Under a fault
+		// policy a daemon may crash or partition during this very setup — the
+		// chaos harness fires failures on request watermarks, which can land
+		// here — so the reset is retried on fresh connections instead of
+		// failing a run the recovery machinery was asked to protect.
+		for attempt := 0; ; attempt++ {
+			err := env.mw.Reset()
+			if err == nil {
+				break
+			}
+			if !p.Faults.Enabled || attempt >= 20 {
+				env.close()
+				return nil, fmt.Errorf("sieve: reset net nodes: %w", err)
+			}
+			env.mw.Close()
+			clock.Or(p.Clock).Sleep(10 * time.Millisecond)
+			if mw, derr := par.DialNet(par.NetAddressTable(addrs...), netOpts...); derr == nil {
+				env.mw = mw
+			}
 		}
 	}
 	return env, nil
