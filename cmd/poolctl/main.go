@@ -1,0 +1,97 @@
+// Command poolctl is the control plane of the elastic worker pool: it hosts
+// the membership registry that rminode daemons register with (-registry) and
+// that sieve -pool drivers discover their workers through, and it offers a
+// small operator surface over a running registry.
+//
+// A minimal elastic deployment:
+//
+//	terminal 1:  go run ./cmd/poolctl -addr 127.0.0.1:9100
+//	terminal 2:  go run ./cmd/rminode -registry 127.0.0.1:9100
+//	terminal 3:  go run ./cmd/rminode -registry 127.0.0.1:9100
+//	terminal 4:  go run ./cmd/sieve -variant FarmStealing -filters 4 \
+//	                 -max 1000000 -pool 127.0.0.1:9100 -faults -verify
+//
+// Nodes may join while a run is in flight (the farm widens onto them) and
+// die mid-run (missed heartbeats cordon them; their work migrates to the
+// survivors — start the driver with -faults so the journal can replay).
+//
+// With -members the command instead queries the registry at the given
+// address once, prints the membership table and exits — the operator's
+// health check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"aspectpar/internal/rmi"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:9100", "TCP address the registry serves on")
+		miss    = flag.Int("miss", 0, "heartbeat intervals a node may miss before it reads unhealthy (<1 = rmi default)")
+		members = flag.String("members", "", "do not serve: query the registry at this address, print the membership, exit")
+	)
+	flag.Parse()
+
+	if *members != "" {
+		if err := printMembers(*members); err != nil {
+			fmt.Fprintln(os.Stderr, "poolctl:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	srv := rmi.NewServer()
+	rmi.NewRegistry(nil, *miss).Bind(srv)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "poolctl:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("poolctl: registry serving on %s\n", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("poolctl: shutting down")
+	srv.Close()
+}
+
+// printMembers renders the registry's membership snapshot — one line per
+// node, the same rows a pool driver reconciles against.
+func printMembers(registry string) error {
+	cli, err := rmi.Dial(registry)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	stub, err := cli.Lookup(rmi.RegistryName)
+	if err != nil {
+		return err
+	}
+	res, err := stub.Invoke(rmi.RegMembers)
+	if err != nil {
+		return err
+	}
+	ms, err := rmi.ParseMembers(res)
+	if err != nil {
+		return err
+	}
+	if len(ms) == 0 {
+		fmt.Println("poolctl: no registered members")
+		return nil
+	}
+	for _, m := range ms {
+		health := "healthy"
+		if !m.Healthy {
+			health = "UNHEALTHY"
+		}
+		fmt.Printf("%-24s epoch %-16d %s\n", m.Addr, m.Epoch, health)
+	}
+	return nil
+}

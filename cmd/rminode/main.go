@@ -14,6 +14,11 @@
 // the Placement policies. The daemon serves successive runs: the driver
 // resets its bindings (par.NetRMI.Reset) before reusing object names.
 //
+// With -registry the node instead joins an elastic pool: it registers with
+// the given poolctl registry at startup, heartbeats against it, and
+// deregisters on graceful shutdown. Drivers started with sieve -pool discover
+// the membership there — no -net list, and nodes may join or leave mid-run.
+//
 // -codecs restricts the wire formats this node negotiates; mixed clusters
 // work because every client falls back per connection to a codec the node
 // accepts (gob is the universal fallback).
@@ -38,9 +43,11 @@ import (
 
 func main() {
 	var (
-		addr   = flag.String("addr", "127.0.0.1:0", "TCP address to serve on (port 0 picks a free one)")
-		codecs = flag.String("codecs", "", "comma-separated wire codecs this node accepts (binary,gob; empty = all built-ins). -codecs gob emulates an old node: binary-preferring clients fall back per connection")
-		drill  = flag.Int("drill-crash", 0, "crash-and-restart drill: abort the node after every N served requests and restart a fresh incarnation (new session epoch, empty registry) on the same address — pair with a fault-tolerant driver (sieve -faults) to watch it ride through (0 = off)")
+		addr     = flag.String("addr", "127.0.0.1:0", "TCP address to serve on (port 0 picks a free one)")
+		codecs   = flag.String("codecs", "", "comma-separated wire codecs this node accepts (binary,gob; empty = all built-ins). -codecs gob emulates an old node: binary-preferring clients fall back per connection")
+		registry = flag.String("registry", "", "elastic-pool registry address to register with on startup and heartbeat against; drivers started with sieve -pool discover this node there instead of needing it on their -net list")
+		beat     = flag.Duration("heartbeat", 0, "with -registry: heartbeat interval (0 = the rmi default); the registry marks the node unhealthy after a few missed beats")
+		drill    = flag.Int("drill-crash", 0, "crash-and-restart drill: abort the node after every N served requests and restart a fresh incarnation (new session epoch, empty registry) on the same address — pair with a fault-tolerant driver (sieve -faults) to watch it ride through (0 = off)")
 	)
 	flag.Parse()
 
@@ -61,6 +68,15 @@ func main() {
 		if len(cs) > 0 {
 			nodeOpts = append(nodeOpts, rmi.WithCodecs(cs...))
 		}
+	}
+	if *registry != "" {
+		nodeOpts = append(nodeOpts, rmi.WithRegistry(*registry))
+		if *beat > 0 {
+			nodeOpts = append(nodeOpts, rmi.WithHeartbeat(*beat))
+		}
+	} else if *beat > 0 {
+		fmt.Fprintln(os.Stderr, "rminode: -heartbeat requires -registry")
+		os.Exit(2)
 	}
 
 	// Each hosted class lives in this process's own domain — the server side

@@ -6,7 +6,7 @@
 //
 //	sieve [-variant Seq|FarmThreads|PipeRMI|FarmRMI|FarmDRMI|FarmMPP|FarmStealing|HandPipeRMI]
 //	      [-filters N] [-max N] [-packs N] [-skew F] [-window N] [-verify]
-//	      [-net addr1,addr2,...] [-codec gob|binary] [-streams N]
+//	      [-net addr1,addr2,... | -pool registryaddr] [-codec gob|binary] [-streams N]
 package main
 
 import (
@@ -31,6 +31,7 @@ func main() {
 		tune    = flag.Bool("autotune", false, "switch on the online tuning controllers (window depth, pack chunking, placement-aware stealing)")
 		faults  = flag.Bool("faults", false, "with -net: enable fault tolerance — journaled calls, reconnect/replay across node crashes, placement failover (kill an rminode mid-run and watch the farm finish)")
 		netList = flag.String("net", "", "comma-separated rminode addresses: run the variant's cell over the real TCP middleware instead of the simulated testbed")
+		pool    = flag.String("pool", "", "elastic-pool registry address (see cmd/poolctl): like -net, but the membership is discovered live — nodes started with rminode -registry join mid-run, dead ones are cordoned and drained")
 		codec   = flag.String("codec", "", "with -net: wire codec to offer in the handshake (gob or binary; empty = default preference order, gob fallback for old nodes)")
 		streams = flag.Int("streams", 0, "with -net: multiplexed request streams per peer connection (<2 = single pipelined lane)")
 		verify  = flag.Bool("verify", false, "cross-check primes against a sequential sieve of Eratosthenes")
@@ -47,7 +48,11 @@ func main() {
 	start := time.Now()
 	var res sieve.Result
 	var err error
-	overWire := *netList != ""
+	overWire := *netList != "" || *pool != ""
+	if *netList != "" && *pool != "" {
+		fmt.Fprintln(os.Stderr, "sieve: -net and -pool are mutually exclusive (static table vs. live registry)")
+		os.Exit(2)
+	}
 	if *faults && !overWire {
 		fmt.Fprintln(os.Stderr, "sieve: -faults only applies to -net runs (the simulated middlewares model no transport failures)")
 		os.Exit(2)
@@ -68,14 +73,18 @@ func main() {
 		}
 		p.NetCodec = *codec
 		p.NetStreams = *streams
-		for _, a := range strings.Split(*netList, ",") {
-			if a = strings.TrimSpace(a); a != "" {
-				p.NetAddrs = append(p.NetAddrs, a)
+		if *pool != "" {
+			p.PoolAddr = *pool
+		} else {
+			for _, a := range strings.Split(*netList, ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					p.NetAddrs = append(p.NetAddrs, a)
+				}
 			}
-		}
-		if len(p.NetAddrs) == 0 {
-			fmt.Fprintln(os.Stderr, "sieve: -net given but no addresses parsed")
-			os.Exit(2)
+			if len(p.NetAddrs) == 0 {
+				fmt.Fprintln(os.Stderr, "sieve: -net given but no addresses parsed")
+				os.Exit(2)
+			}
 		}
 		res, err = sieve.RunCombo(c, p)
 	} else {
@@ -88,7 +97,9 @@ func main() {
 	host := time.Since(start)
 
 	pa, co, di := sieve.Table1Row(sieve.Variant(*variant))
-	if overWire {
+	if *pool != "" {
+		di = fmt.Sprintf("netrmi (elastic pool at %s)", *pool)
+	} else if overWire {
 		di = fmt.Sprintf("netrmi (%d nodes)", len(p.NetAddrs))
 	}
 	fmt.Printf("variant      : %s (partition=%s, concurrency=%s, distribution=%s)\n", res.Variant, pa, co, di)

@@ -100,6 +100,14 @@ func NewDistribution(dom *Domain, newPC, callPC aspect.Pointcut, mw Middleware, 
 		n := d.created
 		d.mu.Unlock()
 		node := d.policy.NodeFor(n - 1)
+		if v, ok := jp.Value(MarkPlaceAt); ok {
+			// A pinned construction (Farm.Grow on a node that joined mid-run)
+			// bypasses the placement policy, which was resolved before the
+			// node existed.
+			if pinned, ok := v.(exec.NodeID); ok {
+				node = pinned
+			}
+		}
 		name := fmt.Sprintf("PS%d", n)
 		ctorArgs := append([]any(nil), jp.Args...)
 		obj, err := d.mw.ExportNew(ctx, name, node, class, ctorArgs, func(rctx exec.Context) (any, error) {

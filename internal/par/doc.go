@@ -268,6 +268,46 @@
 // the first dial) used to impose. The setters remain as shims for existing
 // callers; new code passes options.
 //
+// # Membership & health (elastic pool)
+//
+// Everything above addresses workers through a static NodeID → address
+// table fixed at DialNet. The elastic pool (pool.go) replaces the table
+// with live membership: rmi.NewRegistry is a servant any rmi.Server can
+// host (cmd/poolctl serves a standalone one), worker daemons constructed
+// with rmi.WithRegistry register there at startup and heartbeat on
+// rmi.WithHeartbeat's interval (rmi.DefaultHeartbeatInterval when unset),
+// and a graceful daemon shutdown deregisters before closing. The registry
+// reads a member unhealthy once it has missed a few intervals' worth of
+// beats (the registry's miss factor).
+//
+// [DialPool] dials the registry, seeds a NetRMI from the current healthy
+// membership, and starts a reconciler that polls it ([WithPoolPoll]):
+//
+//   - Join: a newly registered daemon is added to the address table
+//     ([NetRMI.AddNode]) and the farm's placement universe widens onto it
+//     mid-run.
+//   - Cordon: a member observed unhealthy [WithCordonAfter] consecutive
+//     polls is cordoned ([NetRMI.SetCordon]) — no new placements, no
+//     failover landings — while its established objects keep serving. A
+//     node that heals inside the grace is uncordoned with its placements
+//     intact, so a heartbeat flap costs nothing.
+//   - Drain: once [WithDrainGrace] expires (immediately for a member that
+//     deregistered or vanished from the registry), the pool drains the
+//     node ([NetRMI.Drain]): its exports are re-created on survivors via
+//     the failover machinery — constructor + history replay, journal
+//     redirected — while the source may still be alive, so a planned
+//     departure loses nothing. FaultStats.Drains counts these.
+//
+// The pool requires a fault policy (WithPoolNet(WithFaultPolicy(...)) —
+// drains and failovers are the same machinery), and each pooled driver
+// asks the registry for a private namespace ([WithPoolNamespace], default
+// on): every export name carries a registry-allocated "d<N>/" prefix, so
+// concurrent drivers sharing one pool never collide on bindings and
+// Reset scopes itself to the driver's own names. A placement that races
+// its node's death is self-healing: a submission finding a live export
+// stranded on a dead peer re-homes it on a survivor (late failover)
+// instead of orphaning the call.
+//
 // # Wire format & streams
 //
 // Package rmi frames every request and response through a negotiated

@@ -74,6 +74,15 @@ type FaultPolicy struct {
 	// packs and a surviving replica re-executes them. Object state is still
 	// reconstructed by history replay; only the in-flight packs change hands.
 	RequeueOrphans bool
+	// CheckpointEvery bounds the replay journal: once an export's
+	// applied-call history reaches this length, the fault layer asks the
+	// object to Snapshot itself and truncates the history behind the
+	// checkpoint, so reincarnation replays a checkpoint Restore plus a
+	// short tail instead of the full history. Classes opt in by defining
+	// Snapshot (no args, returns the state) and Restore (takes Snapshot's
+	// results) methods; an object whose class lacks them simply keeps the
+	// unbounded history. 0 disables checkpointing (bit-identical journals).
+	CheckpointEvery int
 }
 
 func (p FaultPolicy) withDefaults() FaultPolicy {
@@ -103,6 +112,13 @@ type FaultStats struct {
 	// generation ended (Reset/Close raced the recovery). Tests use it as
 	// the "recovery finished, nothing resurrected" signal.
 	Abandoned int64
+	// Drains counts live peers proactively migrated off their node
+	// (NetRMI.Drain — the cordon/drain control-plane path, as opposed to
+	// crash-triggered failover).
+	Drains int64
+	// Checkpoints counts Snapshot checkpoints taken to truncate export
+	// histories (FaultPolicy.CheckpointEvery).
+	Checkpoints int64
 }
 
 // FaultError wraps a call the fault layer could not transparently recover.
@@ -176,6 +192,9 @@ type netCall struct {
 	args     []any
 	void     bool
 	windowed bool
+	// ckpt marks the fault layer's own Snapshot probes: they must not be
+	// recorded in the history they exist to truncate.
+	ckpt bool
 	// deliver hands the outcome to the caller exactly once; nil for
 	// fire-and-forget void calls, whose terminal failures go to the Join
 	// error list instead.
@@ -195,6 +214,12 @@ type peerFault struct {
 	// control lane (exports, resets); objects multiplexed across streams
 	// 1..n each journal on their own. Guarded by fa.mu; created lazily.
 	journals map[uint32]*streamJournal
+
+	// wired counts calls currently on the wire (transmitted, outcome not
+	// yet back). A live drain quiesces on it: every wired call's effect is
+	// in the history (or its entry back in the journal) before the drain
+	// copies state to the target. Guarded by fa.mu.
+	wired int
 }
 
 // streamJournal is one stream's half of the session contract with the node:
@@ -226,6 +251,19 @@ type netExport struct {
 	ctorArgs []any
 	history  []histEntry
 	dead     bool
+
+	// checkpoint is the last Snapshot result (Restore's arguments);
+	// history holds only the calls applied after it. ckptPending gates one
+	// probe at a time; ckptOff remembers that the class refused Snapshot
+	// (no such method), so it is never asked again.
+	checkpoint  []any
+	ckptPending bool
+	ckptOff     bool
+
+	// moving is the re-homing gate, claimed by reexport for the remap +
+	// history-replay window: one move at a time, and submissions wait it out
+	// rather than read or mutate the target's half-rebuilt state.
+	moving bool
 }
 
 type histEntry struct {
@@ -254,6 +292,8 @@ type netFaults struct {
 	droppedPeers atomic.Int64
 	requeues     atomic.Int64
 	abandoned    atomic.Int64
+	drains       atomic.Int64
+	checkpoints  atomic.Int64
 }
 
 var faultNonce atomic.Int64
@@ -289,6 +329,8 @@ func (fa *netFaults) stats() FaultStats {
 		DroppedPeers: fa.droppedPeers.Load(),
 		Requeues:     fa.requeues.Load(),
 		Abandoned:    fa.abandoned.Load(),
+		Drains:       fa.drains.Load(),
+		Checkpoints:  fa.checkpoints.Load(),
 	}
 }
 
@@ -422,6 +464,12 @@ func (fa *netFaults) submit(call *netCall) {
 			fa.finish(call, nil, 0, fmt.Errorf("par: netrmi invoke on unexported object (%s)", call.method))
 			return
 		}
+		for exp.moving && !fa.closed {
+			// Mid re-homing: the new placement hosts a half-rebuilt object
+			// until the history replay finishes. No locks held but fa.mu (which
+			// Wait releases), so the replay can make progress.
+			fa.cond.Wait()
+		}
 		if exp.dead {
 			node := exp.node
 			fa.mu.Unlock()
@@ -436,9 +484,10 @@ func (fa *netFaults) submit(call *netCall) {
 
 		sj.sendMu.Lock()
 		fa.mu.Lock()
-		if fa.exports[call.ref] != exp || exp.dead || exp.node != node {
-			// The placement moved (failover) or the journal generation ended
-			// while we queued for the stream's send slot: resolve again.
+		if fa.exports[call.ref] != exp || exp.dead || exp.node != node || exp.moving {
+			// The placement moved (failover), started moving, or the journal
+			// generation ended while we queued for the stream's send slot:
+			// resolve again.
 			fa.mu.Unlock()
 			sj.sendMu.Unlock()
 			continue
@@ -446,6 +495,9 @@ func (fa *netFaults) submit(call *netCall) {
 		if pf.state == pfDead {
 			fa.mu.Unlock()
 			sj.sendMu.Unlock()
+			if fa.lateFailover(exp, node) {
+				continue // the export found a new home: re-resolve and transmit
+			}
 			fa.deliverOrphan(call, node, errPeerLost)
 			return
 		}
@@ -475,6 +527,10 @@ func (fa *netFaults) transmit(pf *peerFault, call *netCall, gen int64) {
 		fa.settle(pf, call, nil, 0, err)
 		return
 	}
+	// On the wire from here: onOutcome unwires exactly once per transmit.
+	fa.mu.Lock()
+	pf.wired++
+	fa.mu.Unlock()
 	if call.void {
 		reqSize := fa.m.sizer.Size(call.args)
 		stub.SendSeq(call.method, call.seq, func(ackErr error) {
@@ -495,6 +551,10 @@ func (fa *netFaults) transmit(pf *peerFault, call *netCall, gen int64) {
 // onOutcome classifies one wire outcome: executed calls settle, transport
 // failures leave the entry journaled and start the peer's recovery.
 func (fa *netFaults) onOutcome(pf *peerFault, call *netCall, gen int64, res []any, svc time.Duration, err error) {
+	fa.mu.Lock()
+	pf.wired--
+	fa.cond.Broadcast() // a drain may be quiescing on wired == 0
+	fa.mu.Unlock()
 	if err == nil || isExecuted(err) {
 		fa.settle(pf, call, res, svc, err)
 		return
@@ -549,14 +609,56 @@ func (fa *netFaults) settle(pf *peerFault, call *netCall, res []any, svc time.Du
 		return
 	}
 	dropLocked(sj, call.seq)
-	if err == nil {
+	if err == nil && !call.ckpt {
 		if exp := fa.exports[call.ref]; exp != nil && !exp.dead {
 			exp.history = append(exp.history, histEntry{method: call.method, args: call.args})
+			if fa.policy.CheckpointEvery > 0 && !exp.ckptOff && !exp.ckptPending &&
+				len(exp.history) >= fa.policy.CheckpointEvery {
+				exp.ckptPending = true
+				go fa.checkpoint(exp)
+			}
 		}
 	}
 	fa.cond.Broadcast()
 	fa.mu.Unlock()
 	fa.finish(call, res, svc, err)
+}
+
+// checkpoint bounds one export's replay journal: a Snapshot probe rides the
+// object's own dispatch stream, so by the time its response callback runs,
+// every call the server applied before the snapshot has settled into the
+// history — per-stream FIFO plus in-order response delivery make "the
+// history at delivery time" exactly the state the snapshot captured, and
+// truncating behind it is safe. A class that does not define Snapshot
+// answers with a RemoteError; the export remembers (ckptOff) and keeps its
+// unbounded history.
+func (fa *netFaults) checkpoint(exp *netExport) {
+	fa.submit(&netCall{
+		ref: exp.ref, method: "Snapshot", ckpt: true,
+		deliver: func(res []any, _ time.Duration, err error) {
+			fa.mu.Lock()
+			exp.ckptPending = false
+			if err != nil {
+				// Only a servant-level refusal disables checkpointing; a
+				// transport-path failure leaves the gate open for a retry
+				// after the next applied call.
+				if isExecuted(err) {
+					exp.ckptOff = true
+				}
+				fa.mu.Unlock()
+				return
+			}
+			if exp.dead {
+				fa.mu.Unlock()
+				return
+			}
+			// Non-nil even for an empty snapshot: nil means "no checkpoint".
+			exp.checkpoint = append(make([]any, 0, len(res)), res...)
+			exp.history = nil
+			fa.mu.Unlock()
+			fa.checkpoints.Add(1)
+		},
+	})
 }
 
 // dropLocked removes seq from one stream's journal. fa.mu held.
@@ -767,6 +869,27 @@ func (fa *netFaults) reincarnate(pf *peerFault, gen int64, target exec.NodeID) b
 // history there; on success the object's placement (registry, stubs, the
 // export record) is remapped.
 func (fa *netFaults) reexport(exp *netExport, tp *netPeer, target exec.NodeID, gen int64) bool {
+	// Claim the export's re-homing gate: from the remap below until the last
+	// history entry lands, the target hosts a HALF-REBUILT object, and a live
+	// submission slipping in between replay entries would read or mutate
+	// partial state. submit waits the gate out (holding no stream send slot,
+	// so the replay it is waiting on cannot deadlock against it).
+	fa.mu.Lock()
+	for exp.moving && !fa.closed {
+		fa.cond.Wait()
+	}
+	if fa.closed {
+		fa.mu.Unlock()
+		return false
+	}
+	exp.moving = true
+	fa.mu.Unlock()
+	defer func() {
+		fa.mu.Lock()
+		exp.moving = false
+		fa.cond.Broadcast()
+		fa.mu.Unlock()
+	}()
 	ctl := fa.journalOf(target, 0) // creation rides the control lane
 	ctlArgs := append([]any{exp.class.Name(), exp.name}, exp.ctorArgs...)
 	if _, _, err := fa.ctlCall(tp, ctl, 0, rmi.CtlExportNew, ctlArgs); err != nil {
@@ -792,6 +915,11 @@ func (fa *netFaults) reexport(exp *netExport, tp *netPeer, target exec.NodeID, g
 	fa.mu.Lock()
 	exp.node = target
 	history := append([]histEntry(nil), exp.history...)
+	if exp.checkpoint != nil {
+		// The journal was truncated behind a Snapshot: reconstruct from the
+		// checkpoint first, then the short post-checkpoint tail.
+		history = append([]histEntry{{method: "Restore", args: exp.checkpoint}}, history...)
+	}
 	fa.mu.Unlock()
 	fa.failovers.Add(1)
 	tsj := fa.journalOf(target, exp.stream)
@@ -866,12 +994,29 @@ func (fa *netFaults) exportNew(node exec.NodeID, name string, ctlArgs []any) (*r
 	var seq uint64
 	var seqEpoch int64
 	var lastErr error
+	dialFails := 0
 	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
 		p, err := fa.m.peer(node)
 		if err != nil {
 			// No established connection to recover: the node may be mid
 			// restart — back off on the policy's schedule, then retry the dial.
 			lastErr = err
+			if dialFails++; dialFails >= 3 && !fa.policy.NoFailover {
+				// The node has refused a session since before this object
+				// existed (dead at startup, or partitioned before we ever
+				// reached it) — there is no journal to recover, so retarget
+				// the creation to a member that does answer. A transiently
+				// rebinding node loses nothing: the object runs on the
+				// survivor either way.
+				if target, found := fa.pickTargetFor(node, nil); found {
+					fa.failovers.Add(1)
+					node = target
+					seq, seqEpoch = 0, 0
+					dialFails = 0
+					backoff = pol.BaseBackoff
+					continue
+				}
+			}
 			fa.m.clk.Sleep(backoff)
 			backoff *= 2
 			if backoff > pol.MaxBackoff {
@@ -879,6 +1024,7 @@ func (fa *netFaults) exportNew(node exec.NodeID, name string, ctlArgs []any) (*r
 			}
 			continue
 		}
+		dialFails = 0
 		ctl := fa.journalOf(node, 0)
 		// Seq reuse is a same-incarnation contract: against a fresh epoch
 		// there is nothing to dedupe (the first attempt's application died
@@ -955,7 +1101,17 @@ func (fa *netFaults) failPeer(pf *peerFault, gen int64) {
 		return
 	}
 	if !fa.policy.NoFailover {
-		if target, ok := fa.pickTarget(pf); ok {
+		// One failed candidate must not doom the journal while another
+		// survivor exists: a target can itself be dying — a partitioned node
+		// still accepts dials, so the reachability probe passes and only the
+		// reincarnation's session traffic exposes it — so walk the candidates
+		// until one takes the objects or none are left.
+		tried := make(map[exec.NodeID]bool)
+		for {
+			target, ok := fa.pickTargetFor(pf.node, tried)
+			if !ok {
+				break
+			}
 			if fa.reincarnate(pf, gen, target) && fa.redirectJournal(pf, gen, target) {
 				fa.droppedPeers.Add(1) // the peer itself stays lost
 				return
@@ -964,10 +1120,9 @@ func (fa *netFaults) failPeer(pf *peerFault, gen int64) {
 				fa.abandon(pf)
 				return
 			}
-			fa.dropPeer(pf, gen, fmt.Errorf("par: netrmi failover of node %d to node %d failed", pf.node, target))
-			return
+			tried[target] = true
 		}
-		// No survivor can host the lost objects: typed, Join-visible.
+		// No survivor could take the lost objects: typed, Join-visible.
 		var terminal error
 		if exps := fa.exportsOn(pf.node); len(exps) > 0 {
 			terminal = &NoFailoverError{
@@ -981,16 +1136,135 @@ func (fa *netFaults) failPeer(pf *peerFault, gen int64) {
 	fa.dropPeer(pf, gen, nil)
 }
 
-// pickTarget selects the lowest live, reachable node other than pf's.
-func (fa *netFaults) pickTarget(pf *peerFault) (exec.NodeID, bool) {
-	return fa.pickTargetNode(pf.node)
+// drainNode proactively migrates a LIVE node's exports to a survivor — the
+// cordon→drain step of the elastic pool, reusing the crash machinery
+// (reincarnate + redirectJournal) without waiting for the node to die. The
+// ordering hazard a live drain adds over a crash is calls already on the
+// wire: their effects would land on the source after the history snapshot
+// and be lost on the target. So the drain first takes the peer's recovering
+// state (submissions keep journaling but stop transmitting), then quiesces —
+// waits for every wired call's outcome, which either settles into the
+// history or leaves its entry journaled for the redirect — and only then
+// copies state over. Failure reverts to the ordinary recovery loop so the
+// queued entries still drain.
+func (fa *netFaults) drainNode(node exec.NodeID) error {
+	fa.mu.Lock()
+	gen := fa.gen
+	pf := fa.peerLocked(node)
+	// A crash recovery may already own the peer; wait it out rather than
+	// racing it for the recovering state.
+	for pf.state == pfRecovering && gen == fa.gen && !fa.closed {
+		fa.cond.Wait()
+	}
+	if gen != fa.gen || fa.closed {
+		fa.mu.Unlock()
+		return errMWReset
+	}
+	if pf.state == pfDead {
+		fa.mu.Unlock()
+		return nil // already failed over or dropped: nothing left to move
+	}
+	pf.state = pfRecovering
+	for pf.wired > 0 && gen == fa.gen && !fa.closed {
+		fa.cond.Wait()
+	}
+	if gen != fa.gen || fa.closed {
+		fa.mu.Unlock()
+		fa.abandon(pf)
+		return errMWReset
+	}
+	fa.mu.Unlock()
+	target, ok := fa.pickTargetNode(node)
+	if !ok {
+		// Nowhere to move the exports: hand the peer back healthy via the
+		// recovery loop, which drains the entries queued while we held the
+		// recovering state.
+		go fa.recover(pf, gen)
+		return fmt.Errorf("par: netrmi drain of node %d: no eligible target", node)
+	}
+	if fa.reincarnate(pf, gen, target) && fa.redirectJournal(pf, gen, target) {
+		fa.drains.Add(1)
+		return nil
+	}
+	if fa.stale(gen) {
+		fa.abandon(pf)
+		return errMWReset
+	}
+	go fa.recover(pf, gen)
+	return fmt.Errorf("par: netrmi drain of node %d to node %d failed", node, target)
 }
 
-// pickTargetNode selects the lowest live, reachable node other than dead.
+// lateFailover re-homes one live export stranded on a dead peer. The strand
+// is a creation/death race: the object's placement succeeded, but its export
+// record went live only after the peer's failover (or drain) sweep had
+// snapshotted exportsOn — so the sweep moved everything it could see, marked
+// the peer dead, and left this object behind. Submissions detect the strand
+// (live export, dead peer) and finish the move here: re-create on a survivor,
+// replay history, remap — exactly reexport. Returns true when the export has
+// a new home (submit re-resolves and transmits there); false means the call
+// must be orphaned.
+func (fa *netFaults) lateFailover(exp *netExport, node exec.NodeID) bool {
+	if fa.policy.NoFailover {
+		return false
+	}
+	fa.mu.Lock()
+	for exp.moving && !fa.closed {
+		fa.cond.Wait() // another mover is re-homing it: ride its result
+	}
+	gen := fa.gen
+	if fa.closed || exp.dead {
+		fa.mu.Unlock()
+		return false
+	}
+	if exp.node != node {
+		fa.mu.Unlock()
+		return true // already re-homed (by the waited-out mover, or a sweep)
+	}
+	fa.mu.Unlock()
+	ok := false
+	tried := make(map[exec.NodeID]bool)
+	for !ok {
+		target, found := fa.pickTargetFor(node, tried)
+		if !found {
+			break
+		}
+		if tp, err := fa.m.peer(target); err == nil {
+			// reexport true covers the refusal path too (export marked dead):
+			// the submit loop re-resolves and orphans against exp.dead.
+			ok = fa.reexport(exp, tp, target, gen)
+		}
+		tried[target] = true
+	}
+	return ok
+}
+
+// pickTargetFor picks a failover target other than node, skipping candidates
+// in tried (nil: none). Uncordoned nodes are preferred, but when every
+// survivor is cordoned a live cordoned node is accepted as a last resort: a
+// cordon may be a health flap the pool lifts moments later, and moving the
+// objects twice (the cordoned target's own drain re-migrates them) is
+// strictly better than dropping them.
+func (fa *netFaults) pickTargetFor(node exec.NodeID, tried map[exec.NodeID]bool) (exec.NodeID, bool) {
+	if n, ok := fa.pickNode(node, false, tried); ok {
+		return n, true
+	}
+	return fa.pickNode(node, true, tried)
+}
+
+// pickTargetNode selects the lowest live, reachable, uncordoned node other
+// than dead — a cordoned node is being drained or evicted, so failing over
+// onto it would just move the objects twice. The drain path uses exactly
+// this (a drain with no clean target aborts harmlessly and retries later);
+// the crash path falls back through pickTargetFor with cordoned nodes
+// allowed.
 func (fa *netFaults) pickTargetNode(dead exec.NodeID) (exec.NodeID, bool) {
+	return fa.pickNode(dead, false, nil)
+}
+
+func (fa *netFaults) pickNode(dead exec.NodeID, allowCordoned bool, tried map[exec.NodeID]bool) (exec.NodeID, bool) {
 	ids := fa.m.nodeIDs()
 	for _, n := range ids {
-		if n == dead {
+		if n == dead || tried[n] || (!allowCordoned && fa.m.Cordoned(n)) {
 			continue
 		}
 		fa.mu.Lock()

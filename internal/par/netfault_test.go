@@ -57,6 +57,16 @@ func defineAcc(dom *Domain, started chan struct{}, release chan struct{}) *Class
 			"Sum": func(target any, args []any) ([]any, error) {
 				return []any{target.(*accServant).sum}, nil
 			},
+			// Snapshot/Restore opt the class into checkpointed replay
+			// (FaultPolicy.CheckpointEvery): the checkpoint carries the sum,
+			// reincarnation replays Restore plus the short journal tail.
+			"Snapshot": func(target any, args []any) ([]any, error) {
+				return []any{target.(*accServant).sum}, nil
+			},
+			"Restore": func(target any, args []any) ([]any, error) {
+				target.(*accServant).sum = args[0].(int64)
+				return nil, nil
+			},
 		}).Wire(int64(0))
 }
 

@@ -42,11 +42,17 @@ import (
 type NetRMI struct {
 	mwCore
 
-	mu     sync.Mutex
-	addrs  map[exec.NodeID]string
-	peers  map[exec.NodeID]*netPeer
-	stubs  map[any]*rmi.Stub
-	closed bool
+	mu       sync.Mutex
+	addrs    map[exec.NodeID]string
+	peers    map[exec.NodeID]*netPeer
+	stubs    map[any]*rmi.Stub
+	cordoned map[exec.NodeID]bool
+	closed   bool
+
+	// prefix namespaces every export name (a pooled driver's tenant
+	// prefix, allocated by the registry): "" — the static path — keeps
+	// names bit-identical to pre-pool behaviour.
+	prefix string
 
 	// faults is the optional fault-tolerance subsystem (netfault.go): nil —
 	// the zero FaultPolicy — keeps every dispatch path bit-identical to the
@@ -97,11 +103,12 @@ func NewNetRMI(addrs map[exec.NodeID]string) *NetRMI {
 		table[n] = a
 	}
 	return &NetRMI{
-		mwCore: newMWCore(),
-		addrs:  table,
-		peers:  make(map[exec.NodeID]*netPeer),
-		stubs:  make(map[any]*rmi.Stub),
-		clk:    clock.Real(),
+		mwCore:   newMWCore(),
+		addrs:    table,
+		peers:    make(map[exec.NodeID]*netPeer),
+		stubs:    make(map[any]*rmi.Stub),
+		cordoned: make(map[exec.NodeID]bool),
+		clk:      clock.Real(),
 	}
 }
 
@@ -133,8 +140,92 @@ func NetAddressTable(addrs ...string) map[exec.NodeID]string {
 	return table
 }
 
-// Nodes returns the configured node IDs (the placement universe).
-func (m *NetRMI) Nodes() int { return len(m.addrs) }
+// Nodes returns the configured node count (the placement universe). The
+// table is mutable under a pool (join/leave), so the read is guarded like
+// every other table access.
+func (m *NetRMI) Nodes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.addrs)
+}
+
+// AddNode extends the address table with a freshly joined daemon and
+// returns its node ID (the lowest unused one). The connection is dialled
+// lazily, like every configured node's. Adding an address that is already
+// in the table returns its existing ID.
+func (m *NetRMI) AddNode(addr string) exec.NodeID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	next := exec.NodeID(0)
+	for n, a := range m.addrs {
+		if a == addr {
+			return n
+		}
+		if n >= next {
+			next = n + 1
+		}
+	}
+	m.addrs[next] = addr
+	return next
+}
+
+// SetCordon marks (or clears) a node as cordoned: cordoned nodes receive no
+// new placements — live placement policies and the fault layer's failover
+// target scan both skip them — while their established objects keep
+// serving until a drain moves them.
+func (m *NetRMI) SetCordon(node exec.NodeID, cordoned bool) {
+	m.mu.Lock()
+	if cordoned {
+		m.cordoned[node] = true
+	} else {
+		delete(m.cordoned, node)
+	}
+	m.mu.Unlock()
+}
+
+// Cordoned reports whether node is cordoned.
+func (m *NetRMI) Cordoned(node exec.NodeID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cordoned[node]
+}
+
+// eligibleIDs returns the non-cordoned node IDs in ascending order — the
+// universe live placements select from.
+func (m *NetRMI) eligibleIDs() []exec.NodeID {
+	m.mu.Lock()
+	ids := make([]exec.NodeID, 0, len(m.addrs))
+	for n := range m.addrs {
+		if !m.cordoned[n] {
+			ids = append(ids, n)
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// SetNamespace installs the per-driver binding prefix applied to every
+// export name (and used by Reset to scope itself to this driver's
+// bindings). Must be set before the first placement; "" keeps the
+// pre-pool, collision-prone global names.
+func (m *NetRMI) SetNamespace(prefix string) {
+	m.mu.Lock()
+	m.prefix = prefix
+	m.mu.Unlock()
+}
+
+// Drain proactively migrates node's exports and queued calls onto a
+// surviving, non-cordoned node using the reincarnation/failover machinery,
+// while the source node is still alive — the second half of cordon →
+// drain → evict. It requires a fault policy (the machinery it reuses).
+func (m *NetRMI) Drain(node exec.NodeID) error {
+	fa := m.faults
+	if fa == nil {
+		return fmt.Errorf("par: netrmi drain of node %d needs a fault policy", node)
+	}
+	return fa.drainNode(node)
+}
 
 // nodeIDs returns the configured node IDs in ascending order — the failover
 // target scan order.
@@ -194,9 +285,10 @@ func (m *NetRMI) peer(node exec.NodeID) (*netPeer, error) {
 		return p, nil
 	}
 	addr, ok := m.addrs[node]
+	have := len(m.addrs)
 	m.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("par: netrmi has no address for node %d (have %d nodes)", node, len(m.addrs))
+		return nil, fmt.Errorf("par: netrmi has no address for node %d (have %d nodes)", node, have)
 	}
 	// Every dial knob is carried in options, so the connection is fully
 	// configured before its first frame: the middleware clock (reconnect
@@ -310,6 +402,9 @@ func (m *NetRMI) ExportNew(ctx exec.Context, name string, node exec.NodeID, clas
 	for _, sample := range class.WireSamples() {
 		rmi.RegisterType(sample)
 	}
+	m.mu.Lock()
+	name = m.prefix + name
+	m.mu.Unlock()
 	ctlArgs := append([]any{class.Name(), name}, args...)
 	var stub *rmi.Stub
 	if fa := m.faults; fa != nil {
@@ -479,22 +574,44 @@ func (m *NetRMI) Reset() error {
 	if fa != nil {
 		fa.invalidate(&FaultError{Err: errMWReset})
 	}
+	m.mu.Lock()
+	prefix := m.prefix
+	m.mu.Unlock()
+	// A namespaced driver resets only its own bindings (the node neither
+	// unbinds other tenants' objects nor rotates the shared epoch); the
+	// un-namespaced form keeps the whole-node reset.
+	resetArgs := []any{}
+	if prefix != "" {
+		resetArgs = []any{prefix}
+	}
 	var errs []error
-	for node := range m.addrs {
+	ok := 0
+	for _, node := range m.nodeIDs() {
 		p, err := m.peer(node)
 		if err != nil {
 			errs = append(errs, err)
 			continue
 		}
-		if _, err := p.ctl.Invoke(rmi.CtlReset); err != nil {
+		if _, err := p.ctl.Invoke(rmi.CtlReset, resetArgs...); err != nil {
 			errs = append(errs, err)
 			continue
 		}
 		if fa != nil {
 			if _, err := p.client.Handshake(); err != nil {
 				errs = append(errs, err)
+				continue
 			}
 		}
+		ok++
+	}
+	if fa != nil && !fa.policy.NoFailover && ok > 0 {
+		// Degraded start: a member that is dead or partitioned before the
+		// first request must not abort the run when the policy allows
+		// failover — placements that would have landed on it move to a
+		// survivor at creation time instead (see exportNew). Skipping its
+		// binding reset is safe: nothing is invoked on a node this driver
+		// cannot reach, and ExportNew rebinds any name it later reuses.
+		return nil
 	}
 	return errors.Join(errs...)
 }

@@ -127,6 +127,11 @@ func NewPipeline(cfg PipelineConfig) *Pipeline {
 	// elements in reverse order, remember the chain in next, hand the first
 	// element back to the oblivious client.
 	p.head.Around(newPC, func(jp *aspect.JoinPoint, proceed aspect.ProceedFunc) ([]any, error) {
+		if jp.Bool(MarkInternal) {
+			// A module-generated construction (e.g. an elastic-pool grow)
+			// must not re-trigger duplication.
+			return proceed(nil)
+		}
 		orig := append([]any(nil), jp.Args...)
 		var nextObj any
 		stages := make([]any, cfg.Stages)
@@ -315,6 +320,22 @@ type Farm struct {
 	pending    int
 	errs       []error
 	stealTotal StealStats // folded from finished dispatch rounds (Stealing only)
+	ctorArgs   []any      // original constructor args, recorded at duplication (Grow's recipe)
+	haveCtor   bool
+	round      *stealRound // live stealing dispatch round; nil between rounds
+}
+
+// stealRound is the bookkeeping of one in-flight stealing dispatch round,
+// held on the farm (guarded by f.mu) so a replica created mid-round —
+// Farm.Grow on a node that joined the pool — can widen it: the scheduler
+// gains a deque and a fresh worker activity is spawned into the SAME round.
+// workers counts spawned activities (growth increments it), exited the ones
+// that finished; the last one out folds the counters and retires the round.
+type stealRound struct {
+	sched   *stealScheduler
+	win     int
+	workers int
+	exited  int
 }
 
 // NewFarm builds the module.
@@ -341,7 +362,16 @@ func NewFarm(cfg FarmConfig) *Farm {
 
 	// Object duplication with broadcast constructor arguments.
 	f.asp.Around(newPC, func(jp *aspect.JoinPoint, proceed aspect.ProceedFunc) ([]any, error) {
+		if jp.Bool(MarkInternal) {
+			// A module-generated construction (Farm.Grow building a replica
+			// on a node that joined mid-run) must not re-duplicate.
+			return proceed(nil)
+		}
 		orig := append([]any(nil), jp.Args...)
+		f.mu.Lock()
+		f.ctorArgs = append([]any(nil), orig...)
+		f.haveCtor = true
+		f.mu.Unlock()
 		var first any
 		for i := 0; i < cfg.Workers; i++ {
 			args := orig
@@ -598,35 +628,99 @@ func (f *Farm) dispatchStealing(ctx exec.Context, workers []any, parts [][]any) 
 				}
 			}
 			if known {
-				sched.nodes = nodes
+				sched.setNodes(nodes)
 			}
 		}
 	}
 	sched.seed(parts)
-	win := f.window()
+	r := &stealRound{sched: sched, win: f.window(), workers: len(workers)}
+	f.mu.Lock()
+	f.round = r
+	f.mu.Unlock()
 	f.beginRound(ctx, len(workers))
-	exited := 0 // workers of THIS round that finished (guarded by f.mu)
 	for i, w := range workers {
-		i, w := i, w
-		ctx.Spawn(fmt.Sprintf("steal-worker-%d", i), func(child exec.Context) {
-			defer f.workerDone()
-			if win <= 1 {
-				f.stealWorkerSync(child, sched, i, w)
-			} else {
-				f.stealWorkerWindowed(child, sched, i, w, win)
-			}
-			// The round's counters settle only once every worker is out of
-			// its loop; the last one folds them into the farm total and the
-			// scheduler (deques, pack payloads) becomes garbage.
-			f.mu.Lock()
-			exited++
-			if exited == len(workers) {
-				f.stealTotal.add(sched.stats())
-			}
-			f.mu.Unlock()
-		})
+		f.spawnStealWorker(ctx, r, i, w)
 	}
 	return nil
+}
+
+// spawnStealWorker launches one worker activity of round r: worker i executes
+// everything it obtains on replica w. Used for the round-start workers and
+// for replicas created mid-round by Grow.
+func (f *Farm) spawnStealWorker(ctx exec.Context, r *stealRound, i int, w any) {
+	ctx.Spawn(fmt.Sprintf("steal-worker-%d", i), func(child exec.Context) {
+		defer f.workerDone()
+		if r.win <= 1 {
+			f.stealWorkerSync(child, r.sched, i, w)
+		} else {
+			f.stealWorkerWindowed(child, r.sched, i, w, r.win)
+		}
+		// The round's counters settle only once every worker is out of
+		// its loop; the last one folds them into the farm total and the
+		// scheduler (deques, pack payloads) becomes garbage.
+		f.mu.Lock()
+		r.exited++
+		if r.exited == r.workers {
+			f.stealTotal.add(r.sched.stats())
+			if f.round == r {
+				f.round = nil
+			}
+		}
+		f.mu.Unlock()
+	})
+}
+
+// Grow widens the farm by one replica placed at node — the elastic pool's
+// response to a worker joining mid-run. The replica is constructed through
+// the ordinary woven construction site (so distribution exports it at the
+// new node) but marked internal, which keeps the duplication advice out of
+// the way, and place-pinned, which overrides the placement policy resolved
+// before the node existed. If a stealing dispatch round is in flight, the
+// round is widened too: the scheduler grows a deque and a fresh worker
+// activity spawns into the same round — it starts hungry and steals its
+// first pack, which is how the newcomer measurably absorbs work.
+func (f *Farm) Grow(ctx exec.Context, node exec.NodeID) (any, error) {
+	if !f.cfg.Stealing {
+		return nil, errors.New("par: Grow requires a stealing farm")
+	}
+	f.mu.Lock()
+	if !f.haveCtor {
+		f.mu.Unlock()
+		return nil, errors.New("par: Grow before the farm object was created")
+	}
+	orig := append([]any(nil), f.ctorArgs...)
+	f.mu.Unlock()
+	idx := f.set.len()
+	args := orig
+	if f.cfg.WorkerArgs != nil {
+		args = f.cfg.WorkerArgs(orig, idx)
+	}
+	marks := map[string]any{MarkInternal: true, MarkNoAsync: true, MarkPlaceAt: node}
+	obj, err := f.cfg.Class.NewMarked(ctx, marks, args...)
+	if err != nil {
+		return nil, err
+	}
+	f.set.add(obj)
+	f.mu.Lock()
+	r := f.round
+	if r == nil || r.exited == r.workers {
+		// No round in flight (or it is already folding): the replica joins
+		// the managed set and the NEXT dispatch deals it a deque.
+		f.mu.Unlock()
+		return obj, nil
+	}
+	i := r.sched.addWorker(node)
+	r.workers++
+	// Join bookkeeping inline (beginRound re-locks f.mu): the widened round
+	// must never be observable as quiet between the decision and the spawn.
+	if f.wg == nil {
+		f.wg = ctx.NewWaitGroup()
+	}
+	f.wg.Add(1)
+	f.pending++
+	f.mu.Unlock()
+	f.spawnStealWorker(ctx, r, i, obj)
+	return obj, nil
 }
 
 // stealWorkerSync is the synchronous (window ≤ 1) stealing worker loop: one

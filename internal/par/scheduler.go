@@ -148,21 +148,35 @@ func (d *stealDeque) pushBack(pks ...stealPack) {
 	d.mu.Unlock()
 }
 
-// stealScheduler coordinates one dispatch round: the deques, the outstanding
-// pack count that drives termination, and the statistics.
-type stealScheduler struct {
-	cfg    StealConfig
+// workerSet is one immutable snapshot of the round's workers: the deques and
+// (when placement-aware victim selection is on) each worker's replica node.
+// The scheduler publishes it through an atomic pointer so a node joining
+// mid-run can widen the set — copy, append, swap — while the worker loops
+// read whatever snapshot they loaded without a lock. The deque objects
+// themselves are stable across snapshots (the copy shares the pointers), so
+// an index obtained from one snapshot still names the same deque in a newer
+// one; a late snapshot simply has more indices.
+type workerSet struct {
 	deques []*stealDeque
-
-	// tuner is the farm's tuning-controller state; nil runs the fixed-knob
-	// protocol bit-identically to previous behaviour.
-	tuner *tuner
-	// nodes is worker i's replica placement, resolved at round start when
-	// placement-aware victim selection is on; nil means unknown (victim scan
+	// nodes is worker i's replica placement; nil means unknown (victim scan
 	// order stays the fixed round-robin and every steal counts as local).
 	// Individual unresolved replicas hold -1, which matches nothing — they
 	// must not alias real node 0.
 	nodes []exec.NodeID
+}
+
+// stealScheduler coordinates one dispatch round: the deques, the outstanding
+// pack count that drives termination, and the statistics.
+type stealScheduler struct {
+	cfg StealConfig
+	// ws is the current worker set (see workerSet); growMu serialises the
+	// copy-on-write growth.
+	ws     atomic.Pointer[workerSet]
+	growMu sync.Mutex
+
+	// tuner is the farm's tuning-controller state; nil runs the fixed-knob
+	// protocol bit-identically to previous behaviour.
+	tuner *tuner
 
 	// remaining counts packs enqueued but not yet finished. Every pack
 	// increments it before it becomes visible (initial seeding, the new
@@ -193,11 +207,47 @@ type stealScheduler struct {
 }
 
 func newStealScheduler(cfg StealConfig, workers int) *stealScheduler {
-	s := &stealScheduler{cfg: cfg.withDefaults(), deques: make([]*stealDeque, workers)}
-	for i := range s.deques {
-		s.deques[i] = &stealDeque{}
+	s := &stealScheduler{cfg: cfg.withDefaults()}
+	deques := make([]*stealDeque, workers)
+	for i := range deques {
+		deques[i] = &stealDeque{}
 	}
+	s.ws.Store(&workerSet{deques: deques})
 	return s
+}
+
+// workers returns the current worker-set snapshot.
+func (s *stealScheduler) workers() *workerSet { return s.ws.Load() }
+
+// setNodes installs the round-start placement resolution (placement-aware
+// victim selection); len(nodes) must equal the current worker count.
+func (s *stealScheduler) setNodes(nodes []exec.NodeID) {
+	s.growMu.Lock()
+	old := s.ws.Load()
+	s.ws.Store(&workerSet{deques: old.deques, nodes: nodes})
+	s.growMu.Unlock()
+}
+
+// addWorker widens the round by one worker with an empty deque placed at
+// node, returning the new worker's index. Copy-on-write: in-flight scans
+// keep their old snapshot and simply do not see the newcomer until they
+// reload; the newcomer starts hungry and steals its first pack.
+func (s *stealScheduler) addWorker(node exec.NodeID) int {
+	s.growMu.Lock()
+	defer s.growMu.Unlock()
+	old := s.ws.Load()
+	i := len(old.deques)
+	deques := make([]*stealDeque, i+1)
+	copy(deques, old.deques)
+	deques[i] = &stealDeque{}
+	var nodes []exec.NodeID
+	if old.nodes != nil {
+		nodes = make([]exec.NodeID, i+1)
+		copy(nodes, old.nodes)
+		nodes[i] = node
+	}
+	s.ws.Store(&workerSet{deques: deques, nodes: nodes})
+	return i
 }
 
 // seed distributes the initial packs round-robin over the worker deques.
@@ -211,11 +261,12 @@ func (s *stealScheduler) seed(parts [][]any) {
 	for i, part := range parts {
 		packs[i] = stealPack{args: part}
 	}
+	deques := s.workers().deques
 	s.remaining.Add(int64(len(packs)))
 	s.seeded.Add(int64(len(packs)))
-	for len(packs) > 0 && len(packs) < len(s.deques) {
+	for len(packs) > 0 && len(packs) < len(deques) {
 		grew := false
-		for i := 0; i < len(packs) && len(packs) < len(s.deques); i++ {
+		for i := 0; i < len(packs) && len(packs) < len(deques); i++ {
 			if a, b, ok := s.cfg.SplitPack(packs[i].args); ok {
 				packs[i] = stealPack{args: a}
 				packs = append(packs, stealPack{args: b})
@@ -229,7 +280,7 @@ func (s *stealScheduler) seed(parts [][]any) {
 		}
 	}
 	for i, pk := range packs {
-		s.deques[i%len(s.deques)].pushBack(pk)
+		deques[i%len(deques)].pushBack(pk)
 	}
 }
 
@@ -285,7 +336,7 @@ func (s *stealScheduler) next(ctx exec.Context, i int) (stealPack, bool) {
 // before the new half becomes visible, keeping the termination counter
 // conservative.
 func (s *stealScheduler) take(i int) (stealPack, bool) {
-	d := s.deques[i]
+	d := s.workers().deques[i]
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if len(d.packs) == 0 {
@@ -316,13 +367,14 @@ func (s *stealScheduler) take(i int) (stealPack, bool) {
 // static assignment's imbalance. With an idle pipe (pipelined=false) the
 // behaviour is exactly take's, including the owner-side split rule.
 func (s *stealScheduler) takeWindowed(i int, pipelined bool) (pk stealPack, ok, deferred bool) {
-	d := s.deques[i]
+	ws := s.workers()
+	d := ws.deques[i]
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if len(d.packs) == 0 {
 		return stealPack{}, false, false
 	}
-	if pipelined && len(d.packs) == 1 && len(s.deques) > 1 {
+	if pipelined && len(d.packs) == 1 && len(ws.deques) > 1 {
 		// Deferring only makes sense while a thief could exist: a
 		// single-worker farm has none, and deferring there just drains the
 		// pipe before the tail pack — the fringe-rule fix of ISSUE 4.
@@ -353,22 +405,23 @@ func (s *stealScheduler) takeWindowed(i int, pipelined bool) (pk stealPack, ok, 
 // when the thief's node is truly out of work. Scan order stays a fixed
 // round-robin inside each pass, keeping virtual-time runs deterministic.
 func (s *stealScheduler) trySteal(ctx exec.Context, i int) (stealPack, bool) {
-	n := len(s.deques)
-	if s.nodes != nil {
+	ws := s.workers()
+	n := len(ws.deques)
+	if ws.nodes != nil {
 		for _, local := range []bool{true, false} {
 			for off := 1; off < n; off++ {
 				v := (i + off) % n
-				coLocated := s.nodes[i] >= 0 && s.nodes[v] == s.nodes[i]
+				coLocated := ws.nodes[i] >= 0 && ws.nodes[v] == ws.nodes[i]
 				if coLocated != local {
 					continue
 				}
-				if pk, ok := s.stealFrom(s.deques[v], i); ok {
+				if pk, ok := s.stealFrom(ws, ws.deques[v], i); ok {
 					// Scan order treats unresolved placements (-1) as
 					// remote (scanned last), but the stats count them as
 					// local — unknown placement must not inflate the
 					// remote-steal metric the placement controller is
 					// judged by.
-					s.noteSteal(ctx, coLocated || s.nodes[i] < 0 || s.nodes[v] < 0)
+					s.noteSteal(ctx, coLocated || ws.nodes[i] < 0 || ws.nodes[v] < 0)
 					return pk, true
 				}
 			}
@@ -377,8 +430,8 @@ func (s *stealScheduler) trySteal(ctx exec.Context, i int) (stealPack, bool) {
 		return stealPack{}, false
 	}
 	for off := 1; off < n; off++ {
-		v := s.deques[(i+off)%n]
-		if pk, ok := s.stealFrom(v, i); ok {
+		v := ws.deques[(i+off)%n]
+		if pk, ok := s.stealFrom(ws, v, i); ok {
 			s.noteSteal(ctx, true)
 			return pk, true
 		}
@@ -404,8 +457,9 @@ func (s *stealScheduler) noteSteal(ctx exec.Context, local bool) {
 
 // stealFrom attempts one steal transaction against victim deque v on behalf
 // of thief i. It returns the pack the thief should execute next; surplus
-// stolen packs are re-queued on the thief's own deque.
-func (s *stealScheduler) stealFrom(v *stealDeque, i int) (stealPack, bool) {
+// stolen packs are re-queued on the thief's own deque (resolved through the
+// caller's snapshot — deque identity is stable across growth).
+func (s *stealScheduler) stealFrom(ws *workerSet, v *stealDeque, i int) (stealPack, bool) {
 	v.mu.Lock()
 	switch n := len(v.packs); {
 	case n >= 2:
@@ -417,7 +471,7 @@ func (s *stealScheduler) stealFrom(v *stealDeque, i int) (stealPack, bool) {
 		v.mu.Unlock()
 		s.stolen.Add(int64(k))
 		if len(stolen) > 1 {
-			s.deques[i].pushBack(stolen[1:]...)
+			ws.deques[i].pushBack(stolen[1:]...)
 		}
 		return stolen[0], true
 	case n == 1:
@@ -506,8 +560,9 @@ func (s *stealScheduler) drained() bool { return s.remaining.Load() == 0 || s.ab
 // it; remaining was never decremented, so work conservation holds: the pack
 // executes exactly once, on whichever surviving replica obtains it.
 func (s *stealScheduler) requeueOrphan(from int, args []any) {
-	n := len(s.deques)
-	s.deques[(from+1)%n].pushBack(stealPack{args: args})
+	deques := s.workers().deques
+	n := len(deques)
+	deques[(from+1)%n].pushBack(stealPack{args: args})
 }
 
 // noteDeadWorker records that worker's replica is unrecoverable and the
@@ -515,7 +570,7 @@ func (s *stealScheduler) requeueOrphan(from int, args []any) {
 // round is aborted — the packs have no surviving replica to run on — and
 // noteDeadWorker reports true so the last worker records the failure.
 func (s *stealScheduler) noteDeadWorker() bool {
-	if s.deadWorkers.Add(1) == int64(len(s.deques)) && s.remaining.Load() > 0 {
+	if s.deadWorkers.Add(1) == int64(len(s.workers().deques)) && s.remaining.Load() > 0 {
 		s.aborted.Store(true)
 		return true
 	}

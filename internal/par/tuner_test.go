@@ -135,12 +135,12 @@ func TestTakeWindowedSingleWorkerTakesLastPack(t *testing.T) {
 func TestPlacementAwareVictimSelection(t *testing.T) {
 	ctx := exec.Real()
 	s := newStealScheduler(StealConfig{StealOverhead: -1, MinSplit: 1}, 4)
-	s.nodes = []exec.NodeID{1, 2, 1, 2}
+	s.setNodes([]exec.NodeID{1, 2, 1, 2})
 	// Worker 1 (remote to worker 0) and worker 2 (co-located) both have
 	// work; round-robin alone would rob worker 1 first.
 	s.remaining.Add(2)
-	s.deques[1].pushBack(stealPack{args: []any{[]int32{9}}})
-	s.deques[2].pushBack(stealPack{args: []any{[]int32{7}}})
+	s.workers().deques[1].pushBack(stealPack{args: []any{[]int32{9}}})
+	s.workers().deques[2].pushBack(stealPack{args: []any{[]int32{7}}})
 	pk, ok := s.trySteal(ctx, 0)
 	if !ok || pk.args[0].([]int32)[0] != 7 {
 		t.Fatalf("trySteal = %v %v, want the co-located worker 2's pack", pk, ok)
@@ -169,7 +169,7 @@ func TestChunkCarvesHeavyPack(t *testing.T) {
 	s.tuner.nspe.Store(int64(10 * time.Microsecond)) // avg pack ≈ 100 elems
 	heavy := make([]int32, 1000)                     // ≈ 10× the average
 	s.remaining.Add(1)
-	s.deques[0].pushBack(stealPack{args: []any{heavy}})
+	s.workers().deques[0].pushBack(stealPack{args: []any{heavy}})
 	pk, ok := s.take(0)
 	if !ok {
 		t.Fatal("take found nothing")
@@ -178,10 +178,11 @@ func TestChunkCarvesHeavyPack(t *testing.T) {
 	if len(bite) != 50 { // avg/nspe/2 = 100/2
 		t.Errorf("bite = %d elements, want 50 (half an average pack)", len(bite))
 	}
-	s.deques[0].mu.Lock()
-	queued := len(s.deques[0].packs)
-	rest := s.deques[0].packs[0].args[0].([]int32)
-	s.deques[0].mu.Unlock()
+	d0 := s.workers().deques[0]
+	d0.mu.Lock()
+	queued := len(d0.packs)
+	rest := d0.packs[0].args[0].([]int32)
+	d0.mu.Unlock()
 	if queued != 1 || len(rest) != len(heavy)-len(bite) {
 		t.Errorf("rest: %d packs, %d elements; want 1 pack of %d", queued, len(rest), len(heavy)-len(bite))
 	}

@@ -3,6 +3,7 @@ package rmi
 import (
 	"encoding/gob"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -35,7 +36,12 @@ const (
 	// deployment diagnostics).
 	CtlPing = "Ping"
 	// CtlReset unbinds every placed object, returning the node to its
-	// freshly started state so a daemon can serve successive runs.
+	// freshly started state so a daemon can serve successive runs. With a
+	// non-empty string argument it unbinds only the objects whose names
+	// carry that prefix — the namespaced form a pooled driver uses so its
+	// reset cannot clobber other tenants' placements (and, unlike the full
+	// reset, it does not rotate the session epoch, which would sever every
+	// tenant's session at once).
 	CtlReset = "Reset"
 )
 
@@ -181,6 +187,12 @@ func (n *Node) control(method string, args []any) ([]any, error) {
 		}
 		return nil, n.exportNew(class, name, args[2:])
 	case CtlReset:
+		if len(args) > 0 {
+			if prefix, ok := args[0].(string); ok && prefix != "" {
+				n.resetPrefix(prefix)
+				return nil, nil
+			}
+		}
 		n.reset()
 		return nil, nil
 	default:
@@ -248,6 +260,27 @@ func (n *Node) construct(servant Servant, class string, ctorArgs []any) (obj any
 		}
 	}()
 	return servant.New(n.ctx, ctorArgs)
+}
+
+// resetPrefix unbinds only the placed objects whose names carry prefix —
+// one tenant's namespace. The session epoch is left alone: other tenants
+// share this node's sessions, and rotating would sever them all. The
+// resetting driver guards its own replay race client-side (its fault
+// layer's generation bump), which is the same guard the epoch rotation
+// backs up in the whole-node case.
+func (n *Node) resetPrefix(prefix string) {
+	n.mu.Lock()
+	var names []string
+	for name := range n.objects {
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+			delete(n.objects, name)
+		}
+	}
+	n.mu.Unlock()
+	for _, name := range names {
+		n.srv.Unexport(name)
+	}
 }
 
 // reset unbinds every placed object. It first rotates the session epoch, so

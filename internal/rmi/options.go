@@ -2,6 +2,7 @@ package rmi
 
 import (
 	"net"
+	"time"
 
 	"aspectpar/internal/clock"
 )
@@ -18,12 +19,15 @@ import (
 type Option func(*options)
 
 type options struct {
-	clk     clock.Clock
-	window  int
-	policy  *ReconnectPolicy
-	session string
-	codec   Codec
-	codecs  []Codec
+	clk       clock.Clock
+	window    int
+	policy    *ReconnectPolicy
+	session   string
+	codec     Codec
+	codecs    []Codec
+	registry  string
+	heartbeat time.Duration
+	advertise string
 }
 
 func (o *options) apply(opts []Option) {
@@ -75,6 +79,31 @@ func WithCodecs(cs ...Codec) Option {
 	return func(o *options) { o.codecs = cs }
 }
 
+// WithRegistry points a server (or rmi.Node) at a pool registry: on Listen
+// it registers its bound address and session epoch with the Registry served
+// at addr (see RegistryName), and on graceful Close it deregisters. Combine
+// with WithHeartbeat so the registry also detects silent death.
+func WithRegistry(addr string) Option {
+	return func(o *options) { o.registry = addr }
+}
+
+// WithHeartbeat sets the interval at which a registered server beats
+// against its registry (values ≤ 0 keep DefaultHeartbeatInterval). The
+// beats ride the server's clock seam, so under clock.Virtual the whole
+// liveness loop runs on virtual time without wall-clock sleeps. Inert
+// without WithRegistry.
+func WithHeartbeat(interval time.Duration) Option {
+	return func(o *options) { o.heartbeat = interval }
+}
+
+// WithAdvertise overrides the address a registered server announces to its
+// registry. By default the bound listener address is announced, which is
+// wrong for daemons listening on a wildcard address (":9001" binds as
+// "[::]:9001"); pass the address peers should actually dial.
+func WithAdvertise(addr string) Option {
+	return func(o *options) { o.advertise = addr }
+}
+
 // Serve starts a server on an existing listener, configured by opts — the
 // option-first twin of NewServer+Listen for callers that bring their own
 // net.Listener.
@@ -85,5 +114,6 @@ func Serve(ln net.Listener, opts ...Option) *Server {
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
+	s.startHeartbeat(ln.Addr().String())
 	return s
 }

@@ -157,6 +157,13 @@ type Server struct {
 	dispatchDelay atomic.Int64 // ns slept on clk before each dispatch
 	hasWatches    atomic.Bool  // fast-path gate for requestWatches
 	watches       []requestWatch
+
+	// Membership state (see heartbeat.go): hb is fixed at construction;
+	// the channels exist only while the registration loop runs.
+	hb           heartbeatConfig
+	hbStop       chan struct{}
+	hbDone       chan struct{}
+	hbDeregister atomic.Bool
 }
 
 // NewServer returns a server with an empty registry and a fresh session
@@ -170,6 +177,7 @@ func NewServer(opts ...Option) *Server {
 		sessions: make(map[sessionKey]*clientSession),
 		clk:      clock.Or(o.clk),
 		codecs:   make(map[string]Codec),
+		hb:       heartbeatConfig{registry: o.registry, interval: o.heartbeat, advertise: o.advertise},
 	}
 	accepted := o.codecs
 	if accepted == nil {
@@ -236,6 +244,7 @@ func (s *Server) Listen(addr string) (string, error) {
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
+	s.startHeartbeat(ln.Addr().String())
 	return ln.Addr().String(), nil
 }
 
@@ -537,6 +546,10 @@ func (s *Server) Abort() {
 }
 
 func (s *Server) shutdown(abort bool) {
+	// Tell the registry first (graceful shutdowns deregister; aborts go
+	// silent and rely on missed beats), so a pool watching the registry
+	// stops placing on this node before its listener even closes.
+	s.stopHeartbeat(!abort)
 	s.mu.Lock()
 	if s.closed {
 		// Repeated shutdown: an Abort overtaking a graceful drain still

@@ -36,6 +36,18 @@ import (
 //                     (driver and daemons) restarts on the same addresses
 //                     and the rerun must be clean
 //
+// Four more kinds run the same cells over the elastic pool instead of a
+// static address table — the driver discovers its workers through a live
+// registry and the scripted event churns the membership mid-run
+// (poolchaos_test.go):
+//
+//   - join:   a fresh daemon registers at a watermark and the farm widens
+//   - leave:  a daemon shuts down gracefully (drains, deregisters) mid-run
+//   - flap:   a partition silences links and heartbeats, then heals — the
+//             cordon must lift without churning placements
+//   - cordon: the partition never heals — missed beats cordon the node and
+//             the drain migrates its exports to the survivors
+//
 // Every cell is oracle-checked against the hand-coded sequential sieve and
 // must conserve work (Executed == Seeded + Splits) through its failures.
 // Failures reproduce with CHAOS_SEED=<seed> go test -race -run
@@ -65,8 +77,20 @@ func genScenario(kind string, seed int64) virtScenario {
 		sc.At2 = sc.At + int64(3+rng.Intn(6))
 	case "multikill":
 		sc.At2 = int64(4 + rng.Intn(10))
+	case "flap":
+		sc.HealAt = sc.At + int64(4+rng.Intn(8))
 	}
 	return sc
+}
+
+// poolKind reports whether kind runs over the elastic pool (registry-backed
+// membership) rather than the static address table.
+func poolKind(kind string) bool {
+	switch kind {
+	case "join", "leave", "flap", "cordon":
+		return true
+	}
+	return false
 }
 
 // virtParams shrinks the matrix cell so a 100-cell sweep stays affordable
@@ -95,8 +119,10 @@ func virtPolicy(cell chaosCell) par.FaultPolicy {
 }
 
 // TestChaosVirtualSweep runs the seeded virtual-time scenario matrix:
-// 5 scenario kinds x 4 fault-injected conformance cells x 5 seeds = 100
-// cells, each deterministic under its seed and oracle-checked.
+// 9 scenario kinds x 4 fault-injected conformance cells x 5 seeds = 180
+// cells, each deterministic under its seed and oracle-checked. The first
+// five kinds run over a static address table, the last four over the
+// elastic pool with live registry membership.
 func TestChaosVirtualSweep(t *testing.T) {
 	requireLoopback(t)
 	base := chaosSeed(t)
@@ -105,12 +131,13 @@ func TestChaosVirtualSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	kinds := []string{"kill", "partition", "slowlink", "multikill", "driver-restart"}
+	kinds := []string{"kill", "partition", "slowlink", "multikill", "driver-restart",
+		"join", "leave", "flap", "cordon"}
 	const seedsPerCell = 5
 	// The sweep's size is a structural invariant (not a runtime count, which
-	// -run filtering would shrink): the matrix must define >= 100 cells.
-	if total := len(kinds) * len(chaosCells()) * seedsPerCell; total < 100 {
-		t.Fatalf("sweep defines %d scenario cells, want >= 100", total)
+	// -run filtering would shrink): the matrix must define >= 180 cells.
+	if total := len(kinds) * len(chaosCells()) * seedsPerCell; total < 180 {
+		t.Fatalf("sweep defines %d scenario cells, want >= 180", total)
 	}
 	for ki, kind := range kinds {
 		for ci, cell := range chaosCells() {
@@ -123,7 +150,11 @@ func TestChaosVirtualSweep(t *testing.T) {
 						t.Fatalf("scenario script is not a pure function of its seed: %+v vs %+v", sc, again)
 					}
 					t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-						runVirtCell(t, cell, sc, p, want, seed)
+						if poolKind(kind) {
+							runPoolVirtCell(t, cell, sc, p, want, seed)
+						} else {
+							runVirtCell(t, cell, sc, p, want, seed)
+						}
 					})
 				}
 			})
@@ -194,12 +225,17 @@ func runVirtCell(t *testing.T, cell chaosCell, sc virtScenario, p Params, want [
 		go nodes.watchAndKill(survivor, sc.At2, stop, &second)
 	case "driver-restart":
 		go func() {
+			// Pin the victim's current incarnation: under a starved scheduler
+			// this goroutine can wake after the deployment restart below has
+			// already swapped in a fresh node, and partitioning that fresh
+			// node would sabotage the rerun it is supposed to stay clear of.
+			n := nodes.node(sc.Victim)
 			select {
 			case <-stop:
 				return
-			case <-nodes.node(sc.Victim).WatchRequests(sc.At):
+			case <-n.WatchRequests(sc.At):
 			}
-			nodes.node(sc.Victim).SetPartitioned(true)
+			n.SetPartitioned(true)
 			fired.Store(true)
 		}()
 	default:
@@ -246,7 +282,8 @@ func assertVirtCell(t *testing.T, tag string, res Result, want []int32, cell cha
 			tag, st.Executed, st.Seeded, st.Splits)
 	}
 	f := res.Faults
-	severed := fired && (sc.Kind == "kill" || sc.Kind == "multikill" || sc.Kind == "partition" || sc.Kind == "driver-restart")
+	severed := fired && (sc.Kind == "kill" || sc.Kind == "multikill" || sc.Kind == "partition" ||
+		sc.Kind == "driver-restart" || sc.Kind == "flap" || sc.Kind == "cordon")
 	if severed && f.Reconnects+f.Failovers+f.DroppedPeers+f.Requeues == 0 {
 		// A failure scripted at the victim's last served request can land
 		// after the middleware's final interaction with it — nothing to

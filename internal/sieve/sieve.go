@@ -103,6 +103,20 @@ func (f *PrimeFilter) Accepted() []int32 {
 // Range returns the filter's seed prime range.
 func (f *PrimeFilter) Range() (pmin, pmax int32) { return f.pmin, f.pmax }
 
+// Snapshot returns the filter's mutable state — the accumulated survivors —
+// for the fault journal's checkpoint protocol. The seeds are deterministic
+// from the constructor arguments, so they are rebuilt by the constructor
+// replay and need not travel.
+func (f *PrimeFilter) Snapshot() []int32 {
+	return append([]int32(nil), f.accepted...)
+}
+
+// Restore reinstates a Snapshot — the inverse used when reincarnation replays
+// a checkpoint plus the journal tail instead of the full history.
+func (f *PrimeFilter) Restore(accepted []int32) {
+	f.accepted = append(f.accepted[:0], accepted...)
+}
+
 // TakeOps implements par.OpsReporter: it returns and resets the operation
 // counter.
 func (f *PrimeFilter) TakeOps() int64 {

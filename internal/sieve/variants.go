@@ -287,6 +287,16 @@ type Params struct {
 	// duration of the run — each with its own fresh domain, the process
 	// model without the processes.
 	NetAddrs []string
+	// PoolAddr switches a DistNet run from the static address table to the
+	// elastic pool: the address of an rmi.Registry the worker daemons
+	// register and heartbeat with. The run discovers its membership there,
+	// places over the currently eligible nodes, widens the farm when a node
+	// joins mid-run (stealing farm only) and cordons/drains members that
+	// stop beating. Takes precedence over NetAddrs/NetNodes.
+	PoolAddr string
+	// PoolOpts tunes the pool control plane (poll interval, cordon
+	// threshold, drain grace, namespace) when PoolAddr is set.
+	PoolOpts []par.PoolOption
 	// NetNodes is the number of in-process loopback daemons a DistNet run
 	// launches when NetAddrs is empty; 0 selects 2.
 	NetNodes int
@@ -415,6 +425,16 @@ func DefineClass(dom *par.Domain) *par.Class {
 			"Accepted": func(target any, args []any) ([]any, error) {
 				return []any{target.(*PrimeFilter).Accepted()}, nil
 			},
+			// Snapshot/Restore opt the class into the fault journal's bounded
+			// replay: a checkpoint carries the survivors, the constructor
+			// replay rebuilds the seeds (see par.FaultPolicy.CheckpointEvery).
+			"Snapshot": func(target any, args []any) ([]any, error) {
+				return []any{target.(*PrimeFilter).Snapshot()}, nil
+			},
+			"Restore": func(target any, args []any) ([]any, error) {
+				target.(*PrimeFilter).Restore(args[0].([]int32))
+				return nil, nil
+			},
 		}).Wire(int32(0), []int32(nil))
 }
 
@@ -505,17 +525,60 @@ type wiring struct {
 
 // netEnv is the environment of one DistNet run: the node daemons (owned when
 // launched in-process, borrowed when the run targets external rminode
-// processes) and the middleware over them.
+// processes), the middleware over them, and — for registry-backed runs — the
+// elastic pool that keeps the node table live.
 type netEnv struct {
 	nodes []*rmi.Node // owned loopback daemons (nil entries never happen)
 	mw    *par.NetRMI
+	pool  *par.Pool // registry-backed runs only (Params.PoolAddr)
 }
 
-// startNetEnv connects to p.NetAddrs, or launches in-process loopback node
-// daemons when none are given. Every owned daemon hosts PrimeFilter on its
-// own fresh domain — the process model of a distributed deployment, without
-// the processes.
+// netOptions translates the Params middleware knobs into DialNet options —
+// shared by the static-table and pool paths so both middlewares are
+// configured identically.
+func (p Params) netOptions() ([]par.NetOption, error) {
+	var netOpts []par.NetOption
+	if p.Clock != nil {
+		netOpts = append(netOpts, par.WithNetClock(p.Clock))
+	}
+	if p.Faults.Enabled {
+		netOpts = append(netOpts, par.WithFaultPolicy(p.Faults))
+	}
+	if p.NetCodec != "" {
+		codec, err := rmi.CodecByName(p.NetCodec)
+		if err != nil {
+			return nil, fmt.Errorf("sieve: net codec: %w", err)
+		}
+		netOpts = append(netOpts, par.WithCodec(codec))
+	}
+	if p.NetStreams > 1 {
+		netOpts = append(netOpts, par.WithStreams(p.NetStreams))
+	}
+	return netOpts, nil
+}
+
+// startNetEnv builds the run's node environment. With PoolAddr set it dials
+// the registry and lets the elastic pool discover the membership; otherwise
+// it connects to the static p.NetAddrs table, or launches in-process loopback
+// node daemons when none are given. Every owned daemon hosts PrimeFilter on
+// its own fresh domain — the process model of a distributed deployment,
+// without the processes.
 func startNetEnv(p Params) (*netEnv, error) {
+	if p.PoolAddr != "" {
+		netOpts, err := p.netOptions()
+		if err != nil {
+			return nil, err
+		}
+		popts := append([]par.PoolOption{par.WithPoolNet(netOpts...)}, p.PoolOpts...)
+		pool, err := par.DialPool(p.PoolAddr, popts...)
+		if err != nil {
+			return nil, fmt.Errorf("sieve: dial pool %s: %w", p.PoolAddr, err)
+		}
+		// No Reset here: the pool scopes its bindings in a fresh per-driver
+		// namespace, so a borrowed daemon's previous placements cannot
+		// collide with this run's.
+		return &netEnv{mw: pool.Middleware(), pool: pool}, nil
+	}
 	addrs := p.NetAddrs
 	env := &netEnv{}
 	if len(addrs) == 0 {
@@ -541,23 +604,10 @@ func startNetEnv(p Params) (*netEnv, error) {
 	// DialNet fixes every middleware knob before the first connection —
 	// clock, fault policy, codec, stream width — so there is no setter
 	// ordering to get wrong.
-	var netOpts []par.NetOption
-	if p.Clock != nil {
-		netOpts = append(netOpts, par.WithNetClock(p.Clock))
-	}
-	if p.Faults.Enabled {
-		netOpts = append(netOpts, par.WithFaultPolicy(p.Faults))
-	}
-	if p.NetCodec != "" {
-		codec, err := rmi.CodecByName(p.NetCodec)
-		if err != nil {
-			env.close()
-			return nil, fmt.Errorf("sieve: net codec: %w", err)
-		}
-		netOpts = append(netOpts, par.WithCodec(codec))
-	}
-	if p.NetStreams > 1 {
-		netOpts = append(netOpts, par.WithStreams(p.NetStreams))
+	netOpts, err := p.netOptions()
+	if err != nil {
+		env.close()
+		return nil, err
 	}
 	mw, err := par.DialNet(par.NetAddressTable(addrs...), netOpts...)
 	if err != nil {
@@ -591,13 +641,20 @@ func startNetEnv(p Params) (*netEnv, error) {
 	return env, nil
 }
 
-// placement spreads workers round-robin over every net node.
+// placement spreads workers round-robin over every net node; a pool-backed
+// run places over the live eligible set instead, so placements follow joins
+// and cordons.
 func (e *netEnv) placement() par.Placement {
+	if e.pool != nil {
+		return e.pool.Placement()
+	}
 	return par.RoundRobin(0, e.mw.Nodes())
 }
 
 func (e *netEnv) close() {
-	if e.mw != nil {
+	if e.pool != nil {
+		e.pool.Close() // closes the middleware too
+	} else if e.mw != nil {
 		e.mw.Close()
 	}
 	for _, n := range e.nodes {
@@ -696,6 +753,17 @@ func build(c Combo, p Params) (*wiring, error) {
 		w.net = env
 		w.dist = par.NewDistribution(w.dom, newPF, callAny, env.mw, env.placement())
 		mods = append(mods, w.dist)
+		if env.pool != nil && w.farm != nil && c.Partition == PartStealingFarm {
+			// A node joining mid-run widens the farm: Grow builds a replica
+			// pinned to the newcomer and deals it a steal deque, so it starts
+			// hungry and absorbs packs. Errors (e.g. a join before the farm
+			// object exists) are dropped — the member is already in the node
+			// table, so placement picks it up either way.
+			farm := w.farm
+			env.pool.OnJoin(func(node exec.NodeID, addr string) {
+				_, _ = farm.Grow(exec.Real(), node)
+			})
+		}
 	default:
 		return nil, fmt.Errorf("sieve: unknown distribution %q", c.Distribution)
 	}
