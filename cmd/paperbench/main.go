@@ -8,11 +8,16 @@
 //	           [-skew F] [-window N] [-json FILE]
 //	paperbench -net-throughput [-net-calls N] [-net-payload N] [-net-window N]
 //	           [-net-streams N] [-runs N] [-json FILE]
+//	paperbench -stream-throughput [-stream-frames N] [-stream-size N]
+//	           [-stream-window N] [-runs N] [-json FILE]
 //
 // -net-throughput switches to the wall-clock transport sweep: windowed calls
 // over loopback NetRMI, the wire-speed configuration (binary codec,
 // multiplexed streams) against the gob/FIFO baseline; benchdiff -throughput
-// gates the recorded rates.
+// gates the recorded rates. -stream-throughput measures the resident
+// imagepipe streaming service end to end — windowed ingest, peer-to-peer
+// stage hops, ledger drain — and records a stream-throughput cell next to
+// the transport ones.
 //
 // The defaults are the paper's parameters: maximum prime 10,000,000, 50
 // messages, filter counts 1..16, median of 5 runs. -json appends the
@@ -49,8 +54,31 @@ func main() {
 		netPayload    = flag.Int("net-payload", 512, "[]int32 elements per net-throughput call")
 		netWindow     = flag.Int("net-window", 64, "in-flight calls of the net-throughput driver")
 		netStreams    = flag.Int("net-streams", 3, "streams of the net-throughput wire-speed cell")
+
+		streamThroughput = flag.Bool("stream-throughput", false, "measure the resident imagepipe streaming service (peer-to-peer stage hops) over loopback nodes instead of the virtual-time experiments")
+		streamFrames     = flag.Int("stream-frames", 5_000, "frames per stream-throughput run")
+		streamSize       = flag.Int("stream-size", 256, "float64 samples per frame")
+		streamWindow     = flag.Int("stream-window", 64, "in-flight frames the service admits")
 	)
 	flag.Parse()
+
+	if *streamThroughput {
+		pt, err := bench.StreamThroughput(*streamFrames, *streamSize, *streamWindow, *runs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: stream-throughput: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatStream(pt))
+		if *jsonPath != "" {
+			entries := bench.StreamEntries(pt)
+			if err := bench.MergeInto(*jsonPath, entries); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\nwrote %d measured points to %s\n", len(entries), *jsonPath)
+		}
+		return
+	}
 
 	if *netThroughput {
 		var points []bench.ThroughputPoint

@@ -1,7 +1,9 @@
 // Command rminode runs one worker node of the real-TCP middleware: an
 // rmi.Node daemon hosting the application classes (PrimeFilter,
-// MandelWorker) on its own domain, serving the creation protocol and method
-// dispatch for objects a driving process places here through par.NetRMI.
+// MandelWorker, the imagepipe Stage) on its own domain, serving the
+// creation protocol and method dispatch for objects a driving process
+// places here through par.NetRMI — including the peer-to-peer stage
+// topologies a pipeline driver installs (par.Topology).
 //
 // A minimal two-process sieve run:
 //
@@ -34,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"aspectpar/internal/apps/imagepipe"
 	"aspectpar/internal/apps/mandel"
 	"aspectpar/internal/exec"
 	"aspectpar/internal/par"
@@ -88,6 +91,7 @@ func main() {
 		node := rmi.NewNode(exec.Real(), nodeOpts...)
 		par.HostClass(node, sieve.DefineClass(dom))
 		par.HostClass(node, mandel.DefineClass(dom))
+		par.HostClass(node, imagepipe.DefineClass(dom))
 		return node
 	}
 

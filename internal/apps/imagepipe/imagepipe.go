@@ -20,15 +20,31 @@ import (
 type Frame []float64
 
 // Stage is the sequential core class: one image filter. It is oblivious of
-// pipelining, concurrency and distribution.
+// pipelining, concurrency and distribution. For the resident streaming
+// service the stage also carries a small idempotence layer: a bounded cache
+// of recently filtered frame ids (so a redelivered hop re-forwards the
+// cached output instead of duplicating work) and — on the terminal stage —
+// an exactly-once delivery ledger the service drains with TakeDone.
 type Stage struct {
 	kind string
+	last bool // terminal stage of a streaming chain: records completions
 
-	mu   sync.Mutex
-	out  []Frame
-	ops  int64
-	last bool // set by the application after wiring, for result collection
+	mu  sync.Mutex
+	out []Frame
+	ops int64
+
+	seen       map[int64]Frame // id → cached output (bounded by streamSeen)
+	order      []int64         // seen insertion order, for eviction
+	recorded   map[int64]bool  // terminal only: ids ever enqueued for delivery
+	doneIDs    []int64         // terminal only: completions awaiting TakeDone
+	doneFrames []Frame
 }
+
+// streamSeen bounds each stage's idempotence cache. Old entries evict in
+// insertion order; the end-to-end retry in Service re-filters anything that
+// falls out (the filters are deterministic, so a recomputed frame is
+// byte-identical to the evicted one).
+const streamSeen = 4096
 
 // NewStage builds a filter stage of the given kind: "blur", "sharpen" or
 // "threshold".
@@ -41,11 +57,8 @@ func NewStage(kind string) (*Stage, error) {
 	}
 }
 
-// Apply filters one frame and returns the result; it also keeps the result
-// so the terminal stage of a pipeline can be drained.
-func (s *Stage) Apply(f Frame) Frame {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// filter runs the stage's kernel on one frame. Callers hold s.mu.
+func (s *Stage) filter(f Frame) Frame {
 	out := make(Frame, len(f))
 	switch s.kind {
 	case "blur": // 3-tap box filter
@@ -84,8 +97,62 @@ func (s *Stage) Apply(f Frame) Frame {
 			s.ops += 1
 		}
 	}
+	return out
+}
+
+// Apply filters one frame and returns the result; it also keeps the result
+// so the terminal stage of a pipeline can be drained.
+func (s *Stage) Apply(f Frame) Frame {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.filter(f)
 	s.out = append(s.out, out)
 	return out
+}
+
+// Ingest is the streaming entry point: filter one identified frame and
+// return (id, output) for the forward rule to carry to the next stage. A
+// repeated id — a redelivered strand or an end-to-end retry — returns the
+// cached output without re-counting work, so retries are idempotent at
+// every stage and the terminal ledger delivers each id at most once.
+func (s *Stage) Ingest(id int64, f Frame) (int64, Frame) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if out, ok := s.seen[id]; ok {
+		return id, out
+	}
+	out := s.filter(f)
+	if s.seen == nil {
+		s.seen = make(map[int64]Frame)
+	}
+	s.seen[id] = out
+	s.order = append(s.order, id)
+	if len(s.order) > streamSeen {
+		delete(s.seen, s.order[0])
+		s.order = s.order[1:]
+	}
+	if s.last {
+		if s.recorded == nil {
+			s.recorded = make(map[int64]bool)
+		}
+		if !s.recorded[id] {
+			s.recorded[id] = true
+			s.doneIDs = append(s.doneIDs, id)
+			s.doneFrames = append(s.doneFrames, out)
+		}
+	}
+	return id, out
+}
+
+// TakeDone drains the terminal stage's completion ledger: every (id, frame)
+// pair that finished the full chain since the last drain, each id exactly
+// once over the stage's lifetime.
+func (s *Stage) TakeDone() ([]int64, []Frame) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids, frames := s.doneIDs, s.doneFrames
+	s.doneIDs, s.doneFrames = nil, nil
+	return ids, frames
 }
 
 // Results returns the frames this stage produced, in processing order.
@@ -122,6 +189,53 @@ func Sequential(frames []Frame) []Frame {
 	return out
 }
 
+// DefineClass registers the image Stage on a domain. Both ends of a
+// distributed deployment — the streaming Service driver and every rminode
+// worker daemon — call this, so the class (and its named "stream" forward
+// rule, which a peer-to-peer topology runs node-side) is defined
+// identically in every process. The constructor takes the filter kind and,
+// optionally, a terminal flag marking the stage that records completions.
+func DefineClass(dom *par.Domain) *par.Class {
+	return dom.Define("Stage",
+		func(args []any) (any, error) {
+			s, err := NewStage(args[0].(string))
+			if err != nil {
+				return nil, err
+			}
+			if len(args) > 1 {
+				s.last = args[1].(bool)
+			}
+			return s, nil
+		},
+		map[string]par.MethodBody{
+			"Apply": func(target any, args []any) ([]any, error) {
+				return []any{target.(*Stage).Apply(args[0].(Frame))}, nil
+			},
+			"Ingest": func(target any, args []any) ([]any, error) {
+				id, out := target.(*Stage).Ingest(args[0].(int64), args[1].(Frame))
+				return []any{id, out}, nil
+			},
+			"TakeDone": func(target any, args []any) ([]any, error) {
+				ids, frames := target.(*Stage).TakeDone()
+				return []any{ids, frames}, nil
+			},
+			"Results": func(target any, args []any) ([]any, error) {
+				return []any{target.(*Stage).Results()}, nil
+			},
+		}).Wire(Frame(nil), []Frame(nil), int64(0), []int64(nil)).
+		// The streaming hop derivation as a NAMED rule, so the nodes' forward
+		// lanes can run it without the driver: an Ingest result (id, frame)
+		// becomes the next stage's Ingest arguments verbatim. Must stay
+		// semantically identical to the Forward closure in Service's pipeline
+		// config — the conformance tests pin the two paths byte-equal.
+		DefineForward("stream", func(stage int, results, args []any) []any {
+			if len(results) != 2 {
+				return nil
+			}
+			return []any{results[0], results[1]}
+		})
+}
+
 // Wiring is the woven application: core class + pipeline + concurrency.
 type Wiring struct {
 	Dom   *par.Domain
@@ -131,21 +245,13 @@ type Wiring struct {
 	Stack *par.Stack
 }
 
-// Build wires the image pipeline: a three-stage par.Pipeline whose stage
-// arguments select the filter kind, splitting one batch call into per-frame
-// calls and forwarding each stage's output frame to the next stage.
+// Build wires the batch image pipeline: a three-stage par.Pipeline whose
+// stage arguments select the filter kind, splitting one batch call into
+// per-frame calls and forwarding each stage's output frame to the next
+// stage. (The resident streaming deployment of the same class is Service.)
 func Build() *Wiring {
 	w := &Wiring{Dom: par.NewDomain()}
-	w.Class = w.Dom.Define("Stage",
-		func(args []any) (any, error) { return NewStage(args[0].(string)) },
-		map[string]par.MethodBody{
-			"Apply": func(target any, args []any) ([]any, error) {
-				return []any{target.(*Stage).Apply(args[0].(Frame))}, nil
-			},
-			"Results": func(target any, args []any) ([]any, error) {
-				return []any{target.(*Stage).Results()}, nil
-			},
-		})
+	w.Class = DefineClass(w.Dom)
 	w.Pipe = par.NewPipeline(par.PipelineConfig{
 		Class:  w.Class,
 		Method: "Apply",

@@ -70,6 +70,11 @@ type NetRMI struct {
 	// single FIFO lane). Both are fixed at DialNet, before any connection.
 	codec   rmi.Codec
 	streams int
+
+	// topo is the installed pipeline topology (topology.go); topoVersion
+	// orders its pushes across re-installs. Guarded by mu.
+	topo        *netTopo
+	topoVersion int64
 }
 
 // netPeer is one connected worker node: the pipelined client plus its
@@ -389,6 +394,9 @@ func (m *NetRMI) remap(ref *NetRef, stub *rmi.Stub, node exec.NodeID) {
 	m.stubs[ref] = stub
 	m.mu.Unlock()
 	m.reg.setNode(ref, node)
+	// A re-homed reference may be a pipeline stage: the installed topology
+	// now points a predecessor at a stale placement, so schedule a re-push.
+	m.topoMarkDirty()
 }
 
 // ExportNew implements Middleware: it runs the creation protocol against the
@@ -576,6 +584,9 @@ func (m *NetRMI) Reset() error {
 	}
 	m.mu.Lock()
 	prefix := m.prefix
+	// The nodes drop this namespace's hop tables with its bindings, so the
+	// driver-side plan dies with them.
+	m.topo = nil
 	m.mu.Unlock()
 	// A namespaced driver resets only its own bindings (the node neither
 	// unbinds other tenants' objects nor rotates the shared epoch); the
@@ -624,26 +635,34 @@ func (m *NetRMI) Reset() error {
 // and returns the terminal fault errors (a NoFailoverError when an object
 // could not be re-homed anywhere).
 func (m *NetRMI) Join(ctx exec.Context) error {
-	if fa := m.faults; fa != nil {
-		return fa.join()
-	}
-	m.mu.Lock()
-	peers := make([]*netPeer, 0, len(m.peers))
-	for _, p := range m.peers {
-		peers = append(peers, p)
-	}
-	m.mu.Unlock()
 	var errs []error
-	for _, p := range peers {
-		if err := p.client.Flush(); err != nil {
-			errs = append(errs, err)
+	if fa := m.faults; fa != nil {
+		errs = append(errs, fa.join())
+	} else {
+		m.mu.Lock()
+		peers := make([]*netPeer, 0, len(m.peers))
+		for _, p := range m.peers {
+			peers = append(peers, p)
+		}
+		m.mu.Unlock()
+		for _, p := range peers {
+			if err := p.client.Flush(); err != nil {
+				errs = append(errs, err)
+			}
 		}
 	}
+	// With a pipeline topology installed the driver's drained windows are
+	// only the first hop: run the distributed quiescence protocol over the
+	// node-side forward lanes (see topology.go).
+	errs = append(errs, m.topoJoin(ctx))
 	return errors.Join(errs...)
 }
 
 // Quiet implements Joiner.
 func (m *NetRMI) Quiet() bool {
+	if !m.topoQuiet() {
+		return false
+	}
 	if fa := m.faults; fa != nil {
 		return fa.quiet()
 	}
@@ -703,3 +722,9 @@ func (s classServant) Invoke(ctx exec.Context, obj any, method string, args []an
 }
 
 func (s classServant) WireTypes() []any { return s.c.WireSamples() }
+
+// ForwardRule implements rmi.RuleForwarder: the node's forward lane derives
+// peer-to-peer pipeline hops through the class's named rules.
+func (s classServant) ForwardRule(rule string) (func(stage int, results, args []any) []any, bool) {
+	return s.c.ForwardRule(rule)
+}

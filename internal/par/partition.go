@@ -96,7 +96,16 @@ type PipelineConfig struct {
 	// them to the next stage. Results are identical; the traffic pattern
 	// doubles back through the caller on every hop (and forwarded calls
 	// cannot stay void, since the caller needs the results to forward).
+	//
+	// UseTopology is the third option for process-separated middlewares:
+	// hops run node-side, peer-to-peer, without the doubling.
 	ClientForward bool
+	// ForwardRule names a forward rule registered on Class with
+	// DefineForward — the wire-shippable twin of the Forward closure,
+	// required by UseTopology (node-side forwarding cannot run a driver
+	// closure). When both Forward and ForwardRule are set they should
+	// derive identical hops; the conformance cells pin that.
+	ForwardRule string
 }
 
 // Pipeline is the pipeline partition module: object duplication into a chain
@@ -110,6 +119,9 @@ type Pipeline struct {
 	mu    sync.Mutex
 	next  map[any]any
 	index map[any]int
+
+	topo     TopologyInstaller // non-nil after UseTopology
+	topology *Topology         // the installed plan, set at duplication
 }
 
 // NewPipeline builds the module.
@@ -155,6 +167,18 @@ func NewPipeline(cfg PipelineConfig) *Pipeline {
 		for _, obj := range stages {
 			p.set.add(obj)
 		}
+		if ti := p.installer(); ti != nil {
+			// Peer-to-peer mode: compile the freshly placed chain into a
+			// Topology and install it on the worker nodes, so hops forward
+			// node-side from the first call on.
+			t, err := ti.InstallPipeline(cfg.Class, cfg.Method, cfg.ForwardRule, stages)
+			if err != nil {
+				return nil, err
+			}
+			p.mu.Lock()
+			p.topology = t
+			p.mu.Unlock()
+		}
 		return []any{stages[0]}, nil
 	})
 	// Method-call split (block 2): a core-functionality call becomes a
@@ -170,6 +194,13 @@ func NewPipeline(cfg PipelineConfig) *Pipeline {
 			parts = cfg.Split(jp.Args)
 		}
 		marks := map[string]any{MarkInternal: true}
+		if p.installer() != nil {
+			// Peer-to-peer mode: the caller never needs stage 0's results
+			// (hops carry them node-side), so the sub-calls ride the one-way
+			// windowed path — the ack-clocked send window is the pipeline's
+			// ingest backpressure, and the driver's traffic stays one hop.
+			marks[MarkVoid] = true
+		}
 		var errs []error
 		for _, part := range parts {
 			if _, err := cfg.Class.CallMarked(ctx, marks, head, cfg.Method, part...); err != nil {
@@ -191,6 +222,11 @@ func NewPipeline(cfg PipelineConfig) *Pipeline {
 	}
 	p.forward = aspect.NewAspect("pipeline-forward", prec)
 	p.forward.Around(callPC, func(jp *aspect.JoinPoint, proceed aspect.ProceedFunc) ([]any, error) {
+		if p.installer() != nil {
+			// Peer-to-peer mode: hops run node-side under the installed
+			// topology, so caller-side forwarding stands aside entirely.
+			return proceed(nil)
+		}
 		if cfg.ClientForward && jp.Bool(MarkRemote) {
 			return proceed(nil)
 		}
@@ -224,6 +260,53 @@ func NewPipeline(cfg PipelineConfig) *Pipeline {
 		return res, nil
 	})
 	return p
+}
+
+// UseTopology arms peer-to-peer forwarding: when the pipeline's stages are
+// created, the module compiles the chain into a Topology (stage → placement
+// → successor) and installs it through mw on the worker nodes, whose forward
+// lanes then ship every stage-to-stage hop directly to the successor's peer
+// — the driver is no longer on the hop path, and stage 0's feed rides the
+// one-way send window. Requires a TopologyInstaller middleware (par.NetRMI)
+// and a ForwardRule registered on the class (the class "opts in" by naming
+// its forward derivation; see Class.DefineForward) — callers fall back to
+// ClientForward when either is missing, which is what the returned error
+// signals. Call it after NewPipeline and before the pipeline object is
+// created; it is mutually exclusive with ClientForward.
+func (p *Pipeline) UseTopology(mw Middleware) error {
+	if p.cfg.ClientForward {
+		return errors.New("par: UseTopology on a ClientForward pipeline")
+	}
+	ti, ok := mw.(TopologyInstaller)
+	if !ok {
+		return fmt.Errorf("par: middleware %s cannot install topologies", mw.MiddlewareName())
+	}
+	if p.cfg.ForwardRule == "" {
+		return fmt.Errorf("par: pipeline over %s names no ForwardRule (the class opts out of peer-to-peer forwarding)", p.cfg.Class.Name())
+	}
+	if _, ok := p.cfg.Class.ForwardRule(p.cfg.ForwardRule); !ok {
+		return fmt.Errorf("par: class %s registered no forward rule %q", p.cfg.Class.Name(), p.cfg.ForwardRule)
+	}
+	p.mu.Lock()
+	p.topo = ti
+	p.mu.Unlock()
+	return nil
+}
+
+// installer returns the armed TopologyInstaller (nil in the caller-side
+// forwarding modes).
+func (p *Pipeline) installer() TopologyInstaller {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.topo
+}
+
+// Topology returns the installed placement plan — nil before the pipeline
+// object was created, or when UseTopology was not armed.
+func (p *Pipeline) Topology() *Topology {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.topology
 }
 
 // ModuleName implements Module.

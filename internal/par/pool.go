@@ -109,15 +109,16 @@ type Pool struct {
 
 	regAddr string
 
-	mu      sync.Mutex
-	cli     *rmi.Client
-	stub    *rmi.Stub
-	members map[string]*poolMember
-	onJoin  func(node exec.NodeID, addr string)
-	errs    []error
-	closed  bool
-	stop    chan struct{}
-	done    chan struct{}
+	mu       sync.Mutex
+	cli      *rmi.Client
+	stub     *rmi.Stub
+	members  map[string]*poolMember
+	onJoin   func(node exec.NodeID, addr string)
+	onCordon func(node exec.NodeID, addr string, on bool)
+	errs     []error
+	closed   bool
+	stop     chan struct{}
+	done     chan struct{}
 }
 
 // DialPool connects to a registry, builds the real-TCP middleware over the
@@ -210,6 +211,18 @@ func (p *Pool) OnJoin(fn func(node exec.NodeID, addr string)) {
 	p.mu.Unlock()
 }
 
+// OnCordon installs the hook invoked (outside the pool lock) whenever a
+// member's cordon flips — on when health observations condemn it or an
+// operator cordons it, off when it heals inside the grace. A resident
+// pipeline service uses this to pump its topology promptly, so hops aimed
+// at the condemned member strand, redeliver and heal without waiting for
+// the next scheduled poll.
+func (p *Pool) OnCordon(fn func(node exec.NodeID, addr string, on bool)) {
+	p.mu.Lock()
+	p.onCordon = fn
+	p.mu.Unlock()
+}
+
 // Placement returns a placement policy that round-robins over the pool's
 // currently eligible (known, uncordoned) nodes at each placement, so a farm
 // built after a join uses the widened pool and one built during a cordon
@@ -265,8 +278,10 @@ func (p *Pool) Members() []PoolMember {
 // drain still waits for the grace.
 func (p *Pool) Cordon(node exec.NodeID, on bool) {
 	p.mu.Lock()
+	addr := ""
 	for _, mm := range p.members {
 		if mm.node == node {
+			addr = mm.addr
 			mm.cordoned = on
 			if on {
 				mm.graceAt = p.clk.Now().Add(p.opts.drainGrace)
@@ -275,8 +290,12 @@ func (p *Pool) Cordon(node exec.NodeID, on bool) {
 			}
 		}
 	}
+	onCordon := p.onCordon
 	p.mu.Unlock()
 	p.m.SetCordon(node, on)
+	if onCordon != nil {
+		onCordon(node, addr, on)
+	}
 }
 
 // Drain migrates a member's exports to survivors now, regardless of grace.
@@ -379,7 +398,7 @@ func (p *Pool) Refresh() error {
 			acts = append(acts, action{node: rec.node, addr: rec.addr, drain: true})
 		}
 	}
-	onJoin := p.onJoin
+	onJoin, onCordon := p.onJoin, p.onCordon
 	p.mu.Unlock()
 
 	// Apply outside the pool lock: AddNode/SetCordon take the middleware
@@ -399,6 +418,9 @@ func (p *Pool) Refresh() error {
 			}
 		case a.cordon != nil:
 			p.m.SetCordon(a.node, *a.cordon)
+			if onCordon != nil {
+				onCordon(a.node, a.addr, *a.cordon)
+			}
 		case a.drain:
 			if err := p.m.Drain(a.node); err != nil {
 				errs = append(errs, fmt.Errorf("par: pool drain of %s (node %d): %w", a.addr, a.node, err))

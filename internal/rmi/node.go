@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aspectpar/internal/clock"
@@ -70,6 +71,12 @@ type Node struct {
 	mu      sync.Mutex
 	classes map[string]Servant
 	objects map[string]string // bound object name -> class name
+
+	// pipes is the peer-to-peer pipeline forward lane (topology.go);
+	// pipeActive short-circuits the per-dispatch hook while no topology is
+	// installed, keeping the plain dispatch path untouched.
+	pipes      *pipeRouter
+	pipeActive atomic.Bool
 }
 
 func init() {
@@ -88,6 +95,7 @@ func NewNode(ctx exec.Context, opts ...Option) *Node {
 		classes: make(map[string]Servant),
 		objects: make(map[string]string),
 	}
+	n.pipes = newPipeRouter(n)
 	n.srv.Export(ControlName, n.control)
 	return n
 }
@@ -123,11 +131,17 @@ func (n *Node) Listen(addr string) (string, error) {
 
 // Close shuts the node down gracefully, draining in-flight calls (see
 // Server.Close).
-func (n *Node) Close() { n.srv.Close() }
+func (n *Node) Close() {
+	n.srv.Close()
+	n.pipes.close()
+}
 
 // Abort force-closes the node without draining — the crash the failure-mode
 // tests simulate (see Server.Abort).
-func (n *Node) Abort() { n.srv.Abort() }
+func (n *Node) Abort() {
+	n.srv.Abort()
+	n.pipes.close()
+}
 
 // DropConns severs every live connection while the node keeps running — a
 // transport blip rather than a crash (see Server.DropConns). Clients that
@@ -150,6 +164,9 @@ func (n *Node) WatchRequests(req int64) <-chan struct{} { return n.srv.WatchRequ
 
 // SetClock installs the node's time source; call before Listen (see
 // Server.SetClock).
+//
+// Deprecated: pass WithClock to NewNode instead, which fixes the clock
+// before any listener can observe it.
 func (n *Node) SetClock(clk clock.Clock) { n.srv.SetClock(clk) }
 
 // SetPartitioned severs or heals the node's network (see
@@ -195,6 +212,36 @@ func (n *Node) control(method string, args []any) ([]any, error) {
 		}
 		n.reset()
 		return nil, nil
+	case CtlTopology:
+		if len(args) != 5 {
+			return nil, fmt.Errorf("rmi: %s wants (version, method, rule, names, addrs), got %d args", CtlTopology, len(args))
+		}
+		version, ok := args[0].(int64)
+		if !ok {
+			return nil, fmt.Errorf("rmi: %s version argument is %T, want int64", CtlTopology, args[0])
+		}
+		method, ok1 := args[1].(string)
+		rule, ok2 := args[2].(string)
+		names, ok3 := args[3].([]string)
+		addrs, ok4 := args[4].([]string)
+		if !ok1 || !ok2 || !ok3 || !ok4 {
+			return nil, fmt.Errorf("rmi: %s with malformed arguments (%T, %T, %T, %T)", CtlTopology, args[1], args[2], args[3], args[4])
+		}
+		installed, err := n.pipes.install(version, method, rule, names, addrs)
+		if err != nil {
+			return nil, err
+		}
+		return []any{installed}, nil
+	case CtlPipePoll:
+		prefix := ""
+		drain := false
+		if len(args) > 0 {
+			prefix, _ = args[0].(string)
+		}
+		if len(args) > 1 {
+			drain, _ = args[1].(bool)
+		}
+		return []any{n.pipes.poll(prefix, drain)}, nil
 	default:
 		return nil, fmt.Errorf("rmi: unknown control verb %q", method)
 	}
@@ -243,7 +290,16 @@ func (n *Node) exportNew(class, name string, ctorArgs []any) error {
 		return fmt.Errorf("rmi: export of %q interrupted by a reset", name)
 	}
 	n.srv.Export(name, func(method string, args []any) ([]any, error) {
-		return servant.Invoke(n.ctx, obj, method, args)
+		res, err := servant.Invoke(n.ctx, obj, method, args)
+		if err == nil && n.pipeActive.Load() {
+			// Peer-to-peer pipeline hop: with a topology installed for this
+			// object, the forward lane ships the derived next-hop arguments
+			// directly to the successor's node — before this dispatch
+			// acknowledges, so downstream window pressure propagates
+			// upstream (see pipeRouter.afterDispatch).
+			n.pipes.afterDispatch(name, servant, method, args, res)
+		}
+		return res, err
 	})
 	return nil
 }
@@ -269,6 +325,7 @@ func (n *Node) construct(servant Servant, class string, ctorArgs []any) (obj any
 // layer's generation bump), which is the same guard the epoch rotation
 // backs up in the whole-node case.
 func (n *Node) resetPrefix(prefix string) {
+	n.pipes.reset(prefix)
 	n.mu.Lock()
 	var names []string
 	for name := range n.objects {
@@ -288,6 +345,7 @@ func (n *Node) resetPrefix(prefix string) {
 // re-exporting pre-reset objects while the driver starts a fresh run — is
 // rejected as stale instead of resurrecting bindings the reset just removed.
 func (n *Node) reset() {
+	n.pipes.reset("")
 	n.srv.RotateEpoch()
 	n.mu.Lock()
 	names := make([]string, 0, len(n.objects))

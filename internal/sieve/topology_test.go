@@ -1,0 +1,94 @@
+package sieve
+
+import (
+	"testing"
+)
+
+// These tests are the conformance harness of peer-to-peer pipeline
+// forwarding (par.Topology): the same pipeline cells over the real
+// middleware, once with the stage topology installed on the nodes (the
+// default — hops run node-to-node) and once forced onto the ClientForward
+// fallback (every hop doubles back through the driver). The two modes must
+// compute byte-equal primes, and the driver's traffic counters must show
+// that topology mode actually removed the per-hop doubling.
+
+// TestPipelineTopologyMatchesClientForward pins the two forwarding modes
+// byte-equal against each other and against the hand-coded oracle, for both
+// concurrency settings of the pipeline cells.
+func TestPipelineTopologyMatchesClientForward(t *testing.T) {
+	requireLoopback(t)
+	p := netParams()
+	want, err := HandSequential(p.Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, conc := range []ConcurrencyKind{ConcNone, ConcAsync} {
+		c := Combo{Partition: PartPipeline, Concurrency: conc, Distribution: DistNet}
+		t.Run(c.String(), func(t *testing.T) {
+			topoRes, err := RunCombo(c, p)
+			if err != nil {
+				t.Fatalf("topology run: %v", err)
+			}
+			cf := p
+			cf.PipeClientForward = true
+			cfRes, err := RunCombo(c, cf)
+			if err != nil {
+				t.Fatalf("client-forward run: %v", err)
+			}
+			assertPrimesEqual(t, topoRes.Primes, want)
+			assertPrimesEqual(t, cfRes.Primes, topoRes.Primes)
+
+			// The hops must actually have run peer-to-peer: over two real
+			// TCP nodes with three round-robin stages, every stage boundary
+			// crosses processes, so the nodes' forward lanes — not the
+			// driver — carried the stage-to-stage traffic.
+			if topoRes.Topo.PeerForwards == 0 {
+				t.Errorf("topology run forwarded no hops node-side (stats %+v)", topoRes.Topo)
+			}
+			if topoRes.Topo.Stranded != 0 || topoRes.Topo.Redelivered != 0 {
+				t.Errorf("healthy run stranded hops: %+v", topoRes.Topo)
+			}
+			if topoRes.Topo.Installs == 0 {
+				t.Errorf("topology was never installed (stats %+v)", topoRes.Topo)
+			}
+			if cfRes.Topo.PeerForwards != 0 {
+				t.Errorf("client-forward run used the forward lane: %+v", cfRes.Topo)
+			}
+		})
+	}
+}
+
+// TestPipelineTopologyNoPerHopDoubling is the traffic-stats acceptance
+// criterion: with the topology installed the driver's messages cover only
+// placements, the one-way feed of stage 0 and the result collection — each
+// inner hop runs node-to-node, unseen by the driver's counters. The
+// ClientForward fallback ships every hop out and back through the driver, so
+// for a three-stage pipeline its driver traffic must come out well above the
+// peer-to-peer run's.
+func TestPipelineTopologyNoPerHopDoubling(t *testing.T) {
+	requireLoopback(t)
+	p := netParams()
+	c := Combo{Partition: PartPipeline, Concurrency: ConcNone, Distribution: DistNet}
+	topoRes, err := RunCombo(c, p)
+	if err != nil {
+		t.Fatalf("topology run: %v", err)
+	}
+	cf := p
+	cf.PipeClientForward = true
+	cfRes, err := RunCombo(c, cf)
+	if err != nil {
+		t.Fatalf("client-forward run: %v", err)
+	}
+	if topoRes.Comm.Messages == 0 {
+		t.Fatal("topology run counted no driver traffic at all")
+	}
+	if cfRes.Comm.Messages < 2*topoRes.Comm.Messages {
+		t.Errorf("driver traffic: topology %d messages vs client-forward %d — expected the fallback to at least double (3 stages of doubling back)",
+			topoRes.Comm.Messages, cfRes.Comm.Messages)
+	}
+	// Every hop the fallback shipped through the driver ran node-to-node in
+	// topology mode: one forward per non-empty pack per stage boundary.
+	if got, min := topoRes.Topo.PeerForwards, int64(p.Packs); got < min {
+		t.Errorf("PeerForwards = %d, want at least one per pack (%d)", got, min)
+	}
+}

@@ -309,6 +309,12 @@ type Params struct {
 	// streams (objects assigned round-robin, per-object FIFO preserved);
 	// values below 2 keep the single pipelined lane.
 	NetStreams int
+	// PipeClientForward forces a DistNet pipeline run onto the caller-side
+	// forwarding fallback (PipelineConfig.ClientForward): every hop's
+	// results double back through the driver. The default routes hops
+	// peer-to-peer under an installed par.Topology; the conformance cells
+	// pin both modes byte-equal.
+	PipeClientForward bool
 	// Faults enables NetRMI's fault-tolerance subsystem for DistNet runs:
 	// journaled calls, reconnect/replay across transport blips, state
 	// reconstruction after a node restart, placement failover off dead
@@ -372,6 +378,9 @@ type Result struct {
 	// Faults reports the fault-tolerance subsystem's counters (zero unless
 	// Params.Faults enabled it on a DistNet run).
 	Faults par.FaultStats
+	// Topo reports the peer-to-peer pipeline forward lane's counters (zero
+	// unless a DistNet pipeline ran with a topology installed).
+	Topo par.TopologyStats
 }
 
 // Run executes one variant and returns its result. Every run builds a fresh
@@ -435,7 +444,23 @@ func DefineClass(dom *par.Domain) *par.Class {
 				target.(*PrimeFilter).Restore(args[0].([]int32))
 				return nil, nil
 			},
-		}).Wire(int32(0), []int32(nil))
+		}).Wire(int32(0), []int32(nil)).
+		// The pipeline's forward derivation as a NAMED rule: pure data in,
+		// data out, registered identically in the driver and in every worker
+		// daemon (both call DefineClass), so a peer-to-peer topology can run
+		// it node-side. It must stay semantically identical to the Forward
+		// closure in build() — the conformance cells pin the two modes
+		// byte-equal.
+		DefineForward("survivors", func(stage int, results, args []any) []any {
+			if len(results) == 0 {
+				return nil
+			}
+			survivors, _ := results[0].([]int32)
+			if len(survivors) == 0 {
+				return nil
+			}
+			return []any{survivors}
+		})
 }
 
 // splitPacks divides the candidate list argument into p.Packs packs — the
@@ -587,10 +612,11 @@ func startNetEnv(p Params) (*netEnv, error) {
 			count = 2
 		}
 		for i := 0; i < count; i++ {
-			node := rmi.NewNode(exec.Real())
+			var nodeOpts []rmi.Option
 			if p.Clock != nil {
-				node.SetClock(p.Clock)
+				nodeOpts = append(nodeOpts, rmi.WithClock(p.Clock))
 			}
+			node := rmi.NewNode(exec.Real(), nodeOpts...)
 			par.HostClass(node, DefineClass(par.NewDomain()))
 			addr, err := node.Listen("127.0.0.1:0")
 			if err != nil {
@@ -706,8 +732,12 @@ func build(c Combo, p Params) (*wiring, error) {
 				return []any{survivors}
 			},
 			// Over the real middleware the remote nodes' domains cannot run
-			// this module's forwarding advice; forward from the caller.
-			ClientForward: c.Distribution == DistNet,
+			// this module's forwarding advice. The default ships the stage
+			// topology to the nodes instead (UseTopology below), so hops run
+			// peer-to-peer; PipeClientForward forces the caller-side
+			// fallback, where every hop doubles back through the driver.
+			ForwardRule:   "survivors",
+			ClientForward: c.Distribution == DistNet && p.PipeClientForward,
 		})
 		mods = append(mods, w.pipe)
 
@@ -753,6 +783,14 @@ func build(c Combo, p Params) (*wiring, error) {
 		w.net = env
 		w.dist = par.NewDistribution(w.dom, newPF, callAny, env.mw, env.placement())
 		mods = append(mods, w.dist)
+		if w.pipe != nil && !p.PipeClientForward {
+			// Arm peer-to-peer forwarding: stage creation will compile and
+			// install the par.Topology on the worker daemons.
+			if err := w.pipe.UseTopology(env.mw); err != nil {
+				env.close()
+				return nil, err
+			}
+		}
 		if env.pool != nil && w.farm != nil && c.Partition == PartStealingFarm {
 			// A node joining mid-run widens the farm: Grow builds a replica
 			// pinned to the newcomer and deals it a steal deque, so it starts
@@ -860,6 +898,7 @@ func runWoven(v Variant, c Combo, p Params) (Result, error) {
 	}
 	if w.net != nil {
 		res.Faults = w.net.mw.FaultStats()
+		res.Topo = w.net.mw.TopologyStats()
 	}
 	if w.conc != nil {
 		res.Spawned = w.conc.Spawned()

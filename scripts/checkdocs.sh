@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# checkdocs.sh — the docs CI job, runnable locally from the repo root.
+#
+#  1. Markdown link check: every relative link in the top-level docs must
+#     resolve to a file in the repo.
+#  2. gofmt over the runnable godoc examples.
+#  3. Identifier drift check: every `pkg.Identifier` (and
+#     `pkg.Type.Member`) mentioned in README.md / docs/ARCHITECTURE.md
+#     must still exist in that package's source, so the docs cannot
+#     silently rot as APIs move.
+set -u
+fail=0
+
+# ---- 1. relative markdown links -------------------------------------------
+for doc in README.md docs/ARCHITECTURE.md CHANGES.md ROADMAP.md; do
+  [ -f "$doc" ] || { echo "docs: missing $doc"; fail=1; continue; }
+  base=$(dirname "$doc")
+  # extract ](target) links; ignore absolute URLs and pure anchors
+  while IFS= read -r link; do
+    target=${link%%#*}
+    [ -n "$target" ] || continue
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    if [ ! -e "$base/$target" ] && [ ! -e "$target" ]; then
+      echo "docs: $doc links to missing file: $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+# ---- 2. gofmt on the example code -----------------------------------------
+examples=$(ls internal/par/example_test.go internal/rmi/example_test.go 2>/dev/null)
+if [ -z "$examples" ]; then
+  echo "docs: godoc example files are missing"
+  fail=1
+else
+  unformatted=$(gofmt -l $examples)
+  if [ -n "$unformatted" ]; then
+    echo "docs: examples need gofmt:"
+    echo "$unformatted"
+    fail=1
+  fi
+fi
+
+# ---- 3. documented identifiers must exist ---------------------------------
+pkgdir() {
+  case "$1" in
+    imagepipe|mandel) echo "internal/apps/$1" ;;
+    *) echo "internal/$1" ;;
+  esac
+}
+
+# A top-level identifier exists if it is declared as a func, type, or a
+# (possibly const/var-block-indented) const/var; a member exists if it is a
+# method on some receiver or a struct field / interface method.
+have_ident() { # pkg ident
+  local dir; dir=$(pkgdir "$1")
+  grep -qE "^(func|type|const|var) $2\b|^[[:space:]]+$2[[:space:]]*[=( ]" "$dir"/*.go 2>/dev/null
+}
+have_member() { # pkg member
+  local dir; dir=$(pkgdir "$1")
+  grep -qE "^func \([^)]*\) $2\(|^[[:space:]]+$2[[:space:]]" "$dir"/*.go 2>/dev/null
+}
+
+refs=$(grep -ohE '\b(par|rmi|exec|clock|sim|simnet|cluster|aspect|sieve|bench|imagepipe|mandel)\.[A-Z][A-Za-z0-9]*(\.[A-Z][A-Za-z0-9]*)?' \
+         README.md docs/ARCHITECTURE.md | sort -u)
+for ref in $refs; do
+  pkg=${ref%%.*}
+  rest=${ref#*.}
+  ident=${rest%%.*}
+  if ! have_ident "$pkg" "$ident"; then
+    echo "docs: $ref — $ident not found in $(pkgdir "$pkg")"
+    fail=1
+    continue
+  fi
+  if [ "$rest" != "$ident" ]; then
+    member=${rest#*.}
+    if ! have_member "$pkg" "$member"; then
+      echo "docs: $ref — member $member not found in $(pkgdir "$pkg")"
+      fail=1
+    fi
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "docs: links, example formatting and documented identifiers all check out"
+fi
+exit $fail
